@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared knobs for the experiment binaries.
+ *
+ * Every bench accepts an optional scale factor and iteration override
+ * on the command line:
+ *   ./fig7_accuracy [scale] [iterations]
+ * Defaults reproduce the paper's shapes in a few seconds per bench.
+ */
+
+#ifndef MSPDSM_BENCH_BENCH_COMMON_HH
+#define MSPDSM_BENCH_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <string>
+
+#include "harness/experiment.hh"
+
+namespace mspdsm::bench
+{
+
+/** Parse [scale] [iterations] from argv. */
+inline ExperimentConfig
+parseArgs(int argc, char **argv)
+{
+    ExperimentConfig ec;
+    ec.scale = 1.0;
+    ec.iterations = 0; // per-app defaults
+    if (argc > 1)
+        ec.scale = std::atof(argv[1]);
+    if (argc > 2)
+        ec.iterations =
+            static_cast<unsigned>(std::atoi(argv[2]));
+    return ec;
+}
+
+} // namespace mspdsm::bench
+
+#endif // MSPDSM_BENCH_BENCH_COMMON_HH

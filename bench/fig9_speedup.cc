@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 9: execution time of the speculative coherent DSMs,
+ * normalized to Base-DSM, broken into computation and remote request
+ * waiting time.
+ *
+ * Paper reference points: FR-DSM reduces execution time by 8% on
+ * average (17% at best); SWI-DSM by 12% on average (24% at best);
+ * request waiting drops to 30-65% of base in four applications;
+ * barnes barely moves (low communication ratio).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench_common.hh"
+
+using namespace mspdsm;
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentConfig ec = bench::parseArgs(argc, argv);
+
+    std::printf("Figure 9: normalized execution time (%%), comp + "
+                "request wait\n");
+    std::printf("(paper: FR avg -8%%, best -17%%; SWI avg -12%%, "
+                "best -24%%)\n\n");
+
+    Table t({"app", "Base comp", "Base req", "FR comp", "FR req",
+             "FR total", "SWI comp", "SWI req", "SWI total"});
+    double fr_sum = 0, swi_sum = 0;
+    for (const AppInfo &info : appSuite()) {
+        const RunResult base = runSpec(info.name, SpecMode::None, ec);
+        const RunResult fr =
+            runSpec(info.name, SpecMode::FirstRead, ec);
+        const RunResult swi =
+            runSpec(info.name, SpecMode::SwiFirstRead, ec);
+
+        const double bt = static_cast<double>(base.execTicks);
+        auto norm = [bt](const RunResult &r) {
+            return 100.0 * static_cast<double>(r.execTicks) / bt;
+        };
+        auto req = [bt](const RunResult &r) {
+            return 100.0 * r.avgRequestWait / bt;
+        };
+        const double fr_total = norm(fr);
+        const double swi_total = norm(swi);
+        fr_sum += fr_total;
+        swi_sum += swi_total;
+        t.addRow({info.name, Table::fmt(100.0 - req(base), 1),
+                  Table::fmt(req(base), 1),
+                  Table::fmt(fr_total - req(fr), 1),
+                  Table::fmt(req(fr), 1), Table::fmt(fr_total, 1),
+                  Table::fmt(swi_total - req(swi), 1),
+                  Table::fmt(req(swi), 1), Table::fmt(swi_total, 1)});
+    }
+    t.addRow({"average", "", "100.0", "", "", Table::fmt(fr_sum / 7, 1),
+              "", "", Table::fmt(swi_sum / 7, 1)});
+    t.print(std::cout);
+    return 0;
+}

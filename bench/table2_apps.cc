@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table 2: applications and input data sets -- the paper's inputs
+ * side by side with this reproduction's scaled inputs, plus measured
+ * per-application request volumes at the default scale.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench_common.hh"
+
+using namespace mspdsm;
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentConfig ec = bench::parseArgs(argc, argv);
+
+    std::printf("Table 2: applications and input data sets\n\n");
+    Table t({"app", "paper input", "iters", "this repro", "iters",
+             "reads K", "writes K", "msgs K"});
+    for (const AppInfo &info : appSuite()) {
+        const RunResult r = runSpec(info.name, SpecMode::None, ec);
+        t.addRow({info.name, info.paperInput,
+                  Table::fmt(std::uint64_t(info.paperIters)),
+                  info.scaledInput,
+                  Table::fmt(std::uint64_t(
+                      ec.iterations ? ec.iterations
+                                    : info.defaultIters)),
+                  Table::fmt(r.reads / 1000.0, 1),
+                  Table::fmt(r.writes / 1000.0, 1),
+                  Table::fmt(r.messages / 1000.0, 1)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table 3: fraction of messages predicted (and predicted correctly),
+ * history depth 1.
+ *
+ * Paper reference points: all applications except barnes and ocean
+ * predict most messages (high pattern reuse); MSP predicts the same
+ * fraction as Cosmos while VMSP's vectors take slightly longer to
+ * learn, offset by its much higher accuracy.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench_common.hh"
+
+using namespace mspdsm;
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentConfig ec = bench::parseArgs(argc, argv);
+
+    std::printf("Table 3: messages predicted (and correctly "
+                "predicted), %%, depth 1\n\n");
+    Table t({"app", "Cosmos", "MSP", "VMSP"});
+    for (const AppInfo &info : appSuite()) {
+        const RunResult r = runAccuracy(info.name, 1, ec);
+        std::vector<std::string> row{info.name};
+        for (int k = 0; k < 3; ++k) {
+            const PredStats &s = r.observers[k].stats;
+            char cell[32];
+            std::snprintf(cell, sizeof(cell), "%.0f (%.0f)",
+                          s.coveragePct(), s.correctOfAllPct());
+            row.push_back(cell);
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,38 @@
+#include "base/bitvector.hh"
+
+#include <sstream>
+
+namespace mspdsm
+{
+
+std::vector<NodeId>
+NodeSet::toVector() const
+{
+    std::vector<NodeId> v;
+    v.reserve(static_cast<std::size_t>(count()));
+    std::uint64_t rest = bits_;
+    while (rest) {
+        int bit = std::countr_zero(rest);
+        v.push_back(static_cast<NodeId>(bit));
+        rest &= rest - 1;
+    }
+    return v;
+}
+
+std::string
+NodeSet::toString() const
+{
+    std::ostringstream oss;
+    oss << '{';
+    bool first = true;
+    for (NodeId n : toVector()) {
+        if (!first)
+            oss << ',';
+        oss << n;
+        first = false;
+    }
+    oss << '}';
+    return oss.str();
+}
+
+} // namespace mspdsm

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Fixed-capacity node bit vector.
+ *
+ * Used by the full-map directory (sharer list) and by VMSP (reader
+ * vectors). Capacity is limited to 64 nodes, which covers the paper's
+ * 16-node system with room for scaling studies; the limit is enforced
+ * at construction.
+ */
+
+#ifndef MSPDSM_BASE_BITVECTOR_HH
+#define MSPDSM_BASE_BITVECTOR_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace mspdsm
+{
+
+/**
+ * A set of node ids stored as a 64-bit mask.
+ *
+ * Equality, hashing, and iteration are all O(1)/O(popcount), which the
+ * VMSP pattern tables rely on.
+ */
+class NodeSet
+{
+  public:
+    /** Empty set. */
+    NodeSet() = default;
+
+    /** Singleton set. */
+    static NodeSet
+    of(NodeId n)
+    {
+        NodeSet s;
+        s.add(n);
+        return s;
+    }
+
+    /** Add a node to the set. */
+    void
+    add(NodeId n)
+    {
+        panic_if(n >= 64, "NodeSet supports at most 64 nodes, got ", n);
+        bits_ |= (std::uint64_t{1} << n);
+    }
+
+    /** Remove a node from the set (no-op if absent). */
+    void
+    remove(NodeId n)
+    {
+        panic_if(n >= 64, "NodeSet supports at most 64 nodes, got ", n);
+        bits_ &= ~(std::uint64_t{1} << n);
+    }
+
+    /** @return true iff the node is a member. */
+    bool
+    contains(NodeId n) const
+    {
+        return n < 64 && (bits_ >> n) & 1;
+    }
+
+    /** @return number of members. */
+    int
+    count() const
+    {
+        return std::popcount(bits_);
+    }
+
+    /** @return true iff the set is empty. */
+    bool empty() const { return bits_ == 0; }
+
+    /** Remove all members. */
+    void clear() { bits_ = 0; }
+
+    /** Raw 64-bit mask (for hashing / encoding-size accounting). */
+    std::uint64_t raw() const { return bits_; }
+
+    /** Set union. */
+    NodeSet
+    operator|(const NodeSet &o) const
+    {
+        NodeSet s;
+        s.bits_ = bits_ | o.bits_;
+        return s;
+    }
+
+    /** Set difference: members of this set not in @p o. */
+    NodeSet
+    minus(const NodeSet &o) const
+    {
+        NodeSet s;
+        s.bits_ = bits_ & ~o.bits_;
+        return s;
+    }
+
+    /** Set intersection. */
+    NodeSet
+    operator&(const NodeSet &o) const
+    {
+        NodeSet s;
+        s.bits_ = bits_ & o.bits_;
+        return s;
+    }
+
+    bool operator==(const NodeSet &o) const = default;
+
+    /** Members in ascending order. */
+    std::vector<NodeId> toVector() const;
+
+    /** Render as e.g. "{1,4,7}" for diagnostics. */
+    std::string toString() const;
+
+  private:
+    std::uint64_t bits_ = 0;
+};
+
+} // namespace mspdsm
+
+#endif // MSPDSM_BASE_BITVECTOR_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  -- an internal invariant was violated: a simulator bug.
+ *             Aborts so a debugger or core dump can capture the state.
+ * fatal()  -- the simulation cannot continue because of a user error
+ *             (bad configuration, inconsistent parameters). Exits with
+ *             status 1.
+ * warn()   -- something questionable happened but the simulation can
+ *             proceed.
+ * inform() -- a purely informational status message.
+ */
+
+#ifndef MSPDSM_BASE_LOGGING_HH
+#define MSPDSM_BASE_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace mspdsm
+{
+
+/** Internal: report and abort. Never returns. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Internal: report and exit(1). Never returns. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Internal: print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Internal: print an informational message to stdout. */
+void informImpl(const std::string &msg);
+
+/**
+ * Build a message string from a variadic pack via operator<<.
+ * Used by the panic/fatal/warn/inform macros below.
+ */
+template <typename... Args>
+std::string
+concatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace mspdsm
+
+/** Report an internal simulator bug and abort. */
+#define panic(...) \
+    ::mspdsm::panicImpl(__FILE__, __LINE__, \
+                        ::mspdsm::concatMessage(__VA_ARGS__))
+
+/** Report an unrecoverable user/configuration error and exit. */
+#define fatal(...) \
+    ::mspdsm::fatalImpl(__FILE__, __LINE__, \
+                        ::mspdsm::concatMessage(__VA_ARGS__))
+
+/** Report a suspicious but survivable condition. */
+#define warn(...) \
+    ::mspdsm::warnImpl(::mspdsm::concatMessage(__VA_ARGS__))
+
+/** Report simulation status. */
+#define inform(...) \
+    ::mspdsm::informImpl(::mspdsm::concatMessage(__VA_ARGS__))
+
+/** panic() unless the stated invariant holds. */
+#define panic_if(cond, ...) \
+    do { \
+        if (cond) \
+            panic(__VA_ARGS__); \
+    } while (0)
+
+/** fatal() unless the stated user-facing precondition holds. */
+#define fatal_if(cond, ...) \
+    do { \
+        if (cond) \
+            fatal(__VA_ARGS__); \
+    } while (0)
+
+#endif // MSPDSM_BASE_LOGGING_HH

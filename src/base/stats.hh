@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal statistics primitives.
+ *
+ * Modules expose plain Counter/Average members grouped in Stats structs;
+ * the harness reads them directly. This mirrors the way architecture
+ * simulators expose per-component stat blocks without a heavyweight
+ * registry.
+ */
+
+#ifndef MSPDSM_BASE_STATS_HH
+#define MSPDSM_BASE_STATS_HH
+
+#include <cstdint>
+
+namespace mspdsm
+{
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    /** Increment by @p n (default 1). */
+    void inc(std::uint64_t n = 1) { value_ += n; }
+
+    /** Current count. */
+    std::uint64_t value() const { return value_; }
+
+    /** Reset to zero (between measurement phases). */
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean of a sampled quantity. */
+class Average
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++n_;
+    }
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return n_; }
+
+    /** Mean of samples, or 0 when empty. */
+    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+
+    /** Sum of samples. */
+    double sum() const { return sum_; }
+
+    /** Reset to the empty state. */
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        n_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t n_ = 0;
+};
+
+/**
+ * Ratio helper: percentage of @p part over @p whole, safe on zero.
+ */
+inline double
+pct(std::uint64_t part, std::uint64_t whole)
+{
+    return whole == 0 ? 0.0
+                      : 100.0 * static_cast<double>(part) /
+                            static_cast<double>(whole);
+}
+
+} // namespace mspdsm
+
+#endif // MSPDSM_BASE_STATS_HH

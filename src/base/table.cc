@@ -1,0 +1,83 @@
+#include "base/table.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "base/logging.hh"
+
+namespace mspdsm
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    fatal_if(headers_.empty(), "Table requires at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    fatal_if(cells.size() != headers_.size(),
+             "Table row has ", cells.size(), " cells, expected ",
+             headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            // Left-align the first column (labels), right-align data.
+            if (c == 0) {
+                os << row[c]
+                   << std::string(width[c] - row[c].size(), ' ');
+            } else {
+                os << std::string(width[c] - row[c].size(), ' ')
+                   << row[c];
+            }
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+std::string
+Table::fmt(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+Table::fmt(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::fmtPct(double pct)
+{
+    if (pct > 0.0 && pct < 1.0)
+        return "<1";
+    return std::to_string(static_cast<long long>(std::llround(pct)));
+}
+
+} // namespace mspdsm

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fixed-width text table formatter.
+ *
+ * The benchmark harness prints each of the paper's tables/figure series
+ * as an aligned text table; this tiny formatter keeps that output
+ * uniform across benches.
+ */
+
+#ifndef MSPDSM_BASE_TABLE_HH
+#define MSPDSM_BASE_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mspdsm
+{
+
+/**
+ * Column-aligned table builder.
+ *
+ * Usage:
+ * @code
+ *   Table t({"app", "Cosmos", "MSP", "VMSP"});
+ *   t.addRow({"em3d", "75.2", "99.1", "99.0"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a data row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table (header, rule, rows) to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Format a double with @p digits fractional digits. */
+    static std::string fmt(double v, int digits = 1);
+
+    /** Format an integer. */
+    static std::string fmt(std::uint64_t v);
+
+    /** Format a percentage like the paper: "<1" below one, else round. */
+    static std::string fmtPct(double pct);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mspdsm
+
+#endif // MSPDSM_BASE_TABLE_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module in the simulator.
+ *
+ * The simulator measures time in processor clock cycles ("ticks"); all
+ * latency parameters in proto/ProtoConfig are expressed in this unit.
+ */
+
+#ifndef MSPDSM_BASE_TYPES_HH
+#define MSPDSM_BASE_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mspdsm
+{
+
+/** Simulated time, in processor clock cycles. */
+using Tick = std::uint64_t;
+
+/** Largest representable tick; used as "never" for availability times. */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Byte address in the simulated global physical address space. */
+using Addr = std::uint64_t;
+
+/** Identifier of a node (processor + caches + DSM board). */
+using NodeId = std::uint16_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId invalidNode = std::numeric_limits<NodeId>::max();
+
+/**
+ * Identifier of an aligned coherence block: block address divided by the
+ * block size. The directory, predictors, and caches all index state by
+ * BlockId rather than raw byte address.
+ */
+using BlockId = std::uint64_t;
+
+} // namespace mspdsm
+
+#endif // MSPDSM_BASE_TYPES_HH

@@ -1,0 +1,193 @@
+#include "dsm/cache.hh"
+
+#include "base/logging.hh"
+
+namespace mspdsm
+{
+
+LineState
+CacheCtrl::lineState(BlockId blk) const
+{
+    auto it = lines_.find(blk);
+    return it == lines_.end() ? LineState::Invalid : it->second.state;
+}
+
+bool
+CacheCtrl::hasUnreferencedSpec(BlockId blk) const
+{
+    auto it = lines_.find(blk);
+    return it != lines_.end() && it->second.state != LineState::Invalid &&
+           it->second.spec && !it->second.referenced;
+}
+
+void
+CacheCtrl::completeHit(Line &l, Done done)
+{
+    // First touch of a remote-cache resident block (including every
+    // speculatively pushed copy) costs a local access; afterwards the
+    // block lives in the processor cache.
+    const Tick lat = l.inProcCache ? cfg_.cacheHit : cfg_.memAccess;
+    l.inProcCache = true;
+    l.referenced = true;
+    eq_.scheduleAfter(lat, [done = std::move(done)] { done(false); });
+}
+
+void
+CacheCtrl::sendRequest(MsgType t, BlockId blk, const Line &l)
+{
+    CohMsg m;
+    m.type = t;
+    m.src = id_;
+    m.dst = cfg_.homeOf(blk);
+    m.blk = blk;
+    m.hadCopy = l.state != LineState::Invalid;
+    m.copyWasSpec = l.spec;
+    m.copyReferenced = l.referenced;
+    net_.send(m);
+}
+
+void
+CacheCtrl::access(Addr addr, bool is_write, Done done)
+{
+    panic_if(mshr_.valid, "blocking processor issued a second miss");
+    const BlockId blk = cfg_.blockOf(addr);
+    Line &l = line(blk);
+
+    if (!is_write) {
+        if (l.state != LineState::Invalid) {
+            stats_.readHits.inc();
+            if (l.spec && !l.referenced) {
+                // A speculative push absorbed this read: the remote
+                // access the paper's model converts into a local one.
+                if (l.trig == SpecTrigger::FirstRead)
+                    stats_.specServedFr.inc();
+                else if (l.trig == SpecTrigger::Swi)
+                    stats_.specServedSwi.inc();
+            }
+            completeHit(l, std::move(done));
+            return;
+        }
+        stats_.demandReads.inc();
+        mshr_.valid = true;
+        mshr_.blk = blk;
+        mshr_.write = false;
+        mshr_.invalidated = false;
+        mshr_.done = std::move(done);
+        sendRequest(MsgType::GetS, blk, l);
+        return;
+    }
+
+    // Write access.
+    if (l.state == LineState::Modified) {
+        stats_.writeHits.inc();
+        completeHit(l, std::move(done));
+        return;
+    }
+    stats_.demandWrites.inc();
+    mshr_.valid = true;
+    mshr_.blk = blk;
+    mshr_.write = true;
+    mshr_.invalidated = false;
+    mshr_.done = std::move(done);
+    if (l.state == LineState::Shared) {
+        sendRequest(MsgType::Upgrade, blk, l);
+    } else {
+        sendRequest(MsgType::GetX, blk, l);
+    }
+}
+
+void
+CacheCtrl::handle(const CohMsg &msg)
+{
+    Line &l = line(msg.blk);
+    switch (msg.type) {
+      case MsgType::Inval: {
+        // Acknowledge with the copy's speculation/reference state
+        // piggy-backed (Section 4.2 verification).
+        CohMsg ack;
+        ack.type = MsgType::InvAck;
+        ack.src = id_;
+        ack.dst = msg.src;
+        ack.blk = msg.blk;
+        ack.hadCopy = l.state != LineState::Invalid;
+        ack.copyWasSpec = l.spec;
+        ack.copyReferenced = l.referenced;
+        if (mshr_.valid && mshr_.blk == msg.blk) {
+            // The invalidation raced our in-flight demand fill. The
+            // fill still satisfies the blocked access (it was
+            // serialized before this writer at the home), but the
+            // copy must not survive in the cache.
+            mshr_.invalidated = true;
+            ack.copyReferenced = true; // the demand access is the use
+        }
+        l.state = LineState::Invalid;
+        l.spec = false;
+        l.referenced = false;
+        l.inProcCache = false;
+        net_.send(ack);
+        return;
+      }
+      case MsgType::Recall: {
+        panic_if(l.state != LineState::Modified,
+                 "Recall for a block not owned: ", msg.toString());
+        CohMsg wb;
+        wb.type = MsgType::WriteBack;
+        wb.src = id_;
+        wb.dst = msg.src;
+        wb.blk = msg.blk;
+        wb.hadCopy = true;
+        wb.speculative = msg.speculative;
+        l.state = LineState::Invalid;
+        l.spec = false;
+        l.referenced = false;
+        l.inProcCache = false;
+        net_.send(wb);
+        return;
+      }
+      case MsgType::SpecData: {
+        if ((mshr_.valid && mshr_.blk == msg.blk) ||
+            l.state != LineState::Invalid) {
+            // Race with an in-flight demand request or an existing
+            // copy: drop the speculative block and let the base
+            // protocol answer (paper Section 4.2).
+            stats_.specDropped.inc();
+            return;
+        }
+        l.state = LineState::Shared;
+        l.spec = true;
+        l.referenced = false;
+        l.inProcCache = false;
+        l.trig = msg.trigger;
+        return;
+      }
+      case MsgType::DataShared:
+      case MsgType::DataExcl:
+      case MsgType::UpgradeAck: {
+        panic_if(!mshr_.valid || mshr_.blk != msg.blk,
+                 "unexpected fill ", msg.toString());
+        if (mshr_.invalidated && msg.type == MsgType::DataShared) {
+            // Consume the value for the blocked access but do not
+            // keep the (already invalidated) copy.
+            l.state = LineState::Invalid;
+            l.spec = false;
+            l.referenced = false;
+            l.inProcCache = false;
+        } else {
+            l.state = msg.type == MsgType::DataShared
+                          ? LineState::Shared
+                          : LineState::Modified;
+            l.spec = false;
+            l.referenced = true;
+            l.inProcCache = true;
+        }
+        Done done = std::move(mshr_.done);
+        mshr_ = Mshr{};
+        done(msg.remoteWork);
+        return;
+      }
+      default:
+        panic("cache received unexpected ", msg.toString());
+    }
+}
+
+} // namespace mspdsm

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Per-node cache controller.
+ *
+ * Models the node's processor cache plus its (infinite, per the
+ * paper's Section 6 assumption) remote cache as a unified block-state
+ * map. A block fetched on demand lands in the processor cache
+ * (subsequent hits cost one cycle); a block pushed speculatively lands
+ * in the remote cache with its reference bit set, so its first use
+ * costs one local/remote-cache access (104 cycles) instead of a full
+ * remote round trip -- exactly the latency conversion the paper's
+ * analytic model assumes (remote -> local).
+ */
+
+#ifndef MSPDSM_DSM_CACHE_HH
+#define MSPDSM_DSM_CACHE_HH
+
+#include <functional>
+#include <unordered_map>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "net/network.hh"
+#include "proto/config.hh"
+#include "proto/msg.hh"
+#include "sim/eventq.hh"
+
+namespace mspdsm
+{
+
+/** Cache-side block states (MSI). */
+enum class LineState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Modified,
+};
+
+/** Cache-side statistics. */
+struct CacheStats
+{
+    Counter demandReads;   //!< reads that issued a GetS
+    Counter demandWrites;  //!< writes that issued a GetX or Upgrade
+    Counter readHits;      //!< reads served from the node
+    Counter writeHits;     //!< writes served from the node
+    Counter specServedFr;  //!< first use of an FR-pushed copy
+    Counter specServedSwi; //!< first use of an SWI-pushed copy
+    Counter specDropped;   //!< speculative copies dropped on race
+};
+
+/**
+ * The cache controller of one node.
+ */
+class CacheCtrl
+{
+  public:
+    /**
+     * Completion callback for a processor access.
+     * @param remote true iff the access waited on inter-node
+     *               coherence traffic (the paper's "request waiting
+     *               time"); node-local service counts as computation.
+     */
+    using Done = std::function<void(bool remote)>;
+
+    CacheCtrl(NodeId id, EventQueue &eq, Network &net,
+              const ProtoConfig &cfg)
+        : id_(id), eq_(eq), net_(net), cfg_(cfg)
+    {}
+
+    /**
+     * Processor-side access. At most one outstanding miss (blocking
+     * in-order processor); @p done fires when the access completes.
+     */
+    void access(Addr addr, bool is_write, Done done);
+
+    /** Network-side handler for Inval/Recall/data/SpecData messages. */
+    void handle(const CohMsg &msg);
+
+    /** Statistics. */
+    const CacheStats &stats() const { return stats_; }
+
+    /** State of a block, for tests. */
+    LineState lineState(BlockId blk) const;
+
+    /** True iff the block is present as an unreferenced spec copy. */
+    bool hasUnreferencedSpec(BlockId blk) const;
+
+  private:
+    struct Line
+    {
+        LineState state = LineState::Invalid;
+        bool inProcCache = false; //!< else remote-cache resident
+        bool spec = false;        //!< placed speculatively
+        bool referenced = false;  //!< processor has touched it
+        SpecTrigger trig = SpecTrigger::None;
+    };
+
+    struct Mshr
+    {
+        bool valid = false;
+        BlockId blk = 0;
+        bool write = false;
+        bool invalidated = false; //!< Inval raced the in-flight fill
+        Done done;
+    };
+
+    Line &line(BlockId blk) { return lines_[blk]; }
+
+    /** Complete a node-local hit with the given latency. */
+    void completeHit(Line &l, Done done);
+
+    /** Issue a request message to the block's home. */
+    void sendRequest(MsgType t, BlockId blk, const Line &l);
+
+    NodeId id_;
+    EventQueue &eq_;
+    Network &net_;
+    const ProtoConfig &cfg_;
+    std::unordered_map<BlockId, Line> lines_;
+    Mshr mshr_;
+    CacheStats stats_;
+};
+
+} // namespace mspdsm
+
+#endif // MSPDSM_DSM_CACHE_HH

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Per-node home directory: full-map write-invalidate protocol FSM
+ * (paper Section 2 / Figure 1) with the predictor observation hooks
+ * and the speculation engine (Section 4) layered on top.
+ *
+ * Design rules carried over from the paper:
+ *  - the predictor only *observes* incoming messages and *advises*
+ *    the directory to perform existing operations early; no protocol
+ *    transition is added for speculation;
+ *  - speculatively pushed read-only copies are tracked as ordinary
+ *    sharers, so a later write invalidates them through the normal
+ *    path, and the invalidation acknowledgement piggy-backs the
+ *    reference bit used for verification;
+ *  - a misspeculated (unreferenced) push removes the offending
+ *    pattern-table entry; a premature SWI sets the per-entry
+ *    premature bit that suppresses future early invalidations for
+ *    that write.
+ *
+ * The directory serializes transactions per block: requests arriving
+ * while a transaction is in flight are deferred in arrival order.
+ * Predictors still observe messages at *arrival*, which is the stream
+ * the paper's predictors see.
+ */
+
+#ifndef MSPDSM_DSM_DIRECTORY_HH
+#define MSPDSM_DSM_DIRECTORY_HH
+
+#include <deque>
+#include <unordered_map>
+
+#include "base/bitvector.hh"
+#include "base/types.hh"
+#include "net/network.hh"
+#include "pred/predictor.hh"
+#include "pred/vmsp.hh"
+#include "proto/config.hh"
+#include "proto/msg.hh"
+#include "sim/eventq.hh"
+#include "spec/spec.hh"
+
+namespace mspdsm
+{
+
+/** Directory states; Busy* are the transient transaction states. */
+enum class DirState : std::uint8_t
+{
+    Idle,
+    Shared,
+    Excl,
+    BusyService, //!< lookup/memory latency before a reply
+    BusyInval,   //!< collecting invalidation acks for a write grant
+    BusyRecall,  //!< awaiting a writeback (demand or SWI recall)
+};
+
+/** Directory-side statistics. */
+struct DirStats
+{
+    Counter reqGetS;    //!< read requests received
+    Counter reqGetX;    //!< write requests received
+    Counter reqUpgrade; //!< upgrade requests received
+    Counter recalls;    //!< demand recalls issued
+    Counter invals;     //!< invalidations issued
+};
+
+/**
+ * The home directory of one node.
+ */
+class Directory
+{
+  public:
+    /**
+     * @param id this node
+     * @param eq shared event queue
+     * @param net interconnect
+     * @param cfg machine configuration
+     * @param observers predictors observing this directory's incoming
+     *        messages; several can observe one run (they are passive)
+     * @param vmsp the predictor driving speculation (must also be in
+     *        @p observers so its state advances), or null
+     * @param mode speculation mode
+     */
+    Directory(NodeId id, EventQueue &eq, Network &net,
+              const ProtoConfig &cfg,
+              std::vector<PredictorBase *> observers, Vmsp *vmsp,
+              SpecMode mode);
+
+    /** Network-side handler for requests and acknowledgements. */
+    void handle(const CohMsg &msg);
+
+    /** Protocol statistics. */
+    const DirStats &stats() const { return stats_; }
+
+    /** Speculation statistics. */
+    const SpecStats &specStats() const { return specStats_; }
+
+    /** Directory state of a block, for tests. */
+    DirState blockState(BlockId blk) const;
+
+    /** Sharer set of a block, for tests. */
+    NodeSet sharersOf(BlockId blk) const;
+
+    /** Owner of a block (invalidNode when none), for tests. */
+    NodeId ownerOf(BlockId blk) const;
+
+  private:
+    struct Entry
+    {
+        DirState state = DirState::Idle;
+        NodeSet sharers;
+        NodeId owner = invalidNode;
+
+        // In-flight transaction.
+        MsgType curType = MsgType::GetS;
+        NodeId curReq = invalidNode;
+        bool curUpgradeGrant = false;
+        bool curIsSwi = false;
+        bool curRemote = false; //!< transaction touched other nodes
+        SymKind curWriteSym = SymKind::Write; //!< as the requester
+                                              //!< sent it (GetX/Upg)
+        int pendingAcks = 0;
+        int repliesInFlight = 0; //!< read replies being serviced
+        std::deque<CohMsg> deferred;
+
+        // Read-phase speculation state.
+        bool phaseTriggered = false;
+        SpecTrigger phaseTrig = SpecTrigger::None;
+        NodeSet specSent;
+        HistoryKey specKey;
+        bool specKeyValid = false;
+        bool misspecPenalized = false;
+
+        // SWI premature-detection epoch.
+        bool swiEpoch = false;
+        NodeId swiExOwner = invalidNode;
+        HistoryKey swiWriteKey;
+        bool swiWriteKeyValid = false;
+        bool swiVerdictPending = false; //!< ex-owner wrote again;
+                                        //!< judge at grant time
+        bool specAnyUsed = false; //!< any consumer progress since SWI
+        /**
+         * Premature hysteresis: while learning, a block's reader
+         * vector can change between premature episodes (robbed reads
+         * perturb it), moving the pattern-table premature bit to a
+         * different entry and letting SWI retry every round. A
+         * premature verdict therefore also backs the *block* off for
+         * a number of write completions; stable patterns keep their
+         * entry bit and stay suppressed beyond the backoff.
+         */
+        unsigned swiBackoff = 0;
+        unsigned swiPrematureCount = 0; //!< escalates the backoff
+    };
+
+    Entry &entry(BlockId blk) { return entries_[blk]; }
+
+    static bool
+    busy(const Entry &e)
+    {
+        return e.state == DirState::BusyService ||
+               e.state == DirState::BusyInval ||
+               e.state == DirState::BusyRecall;
+    }
+
+    /**
+     * Reads pipeline through the directory (state is updated at
+     * request processing; only the data reply is in flight), so
+     * further reads may proceed while replies are pending. Writes
+     * must wait for in-flight read replies: the pair-FIFO network
+     * then guarantees an invalidation can never overtake the data it
+     * invalidates.
+     */
+    static bool
+    canProcess(const Entry &e, MsgType t)
+    {
+        if (busy(e))
+            return false;
+        return t == MsgType::GetS || e.repliesInFlight == 0;
+    }
+
+    /**
+     * Present an incoming message to the passive observers (arrival
+     * order -- the stream the paper's accuracy studies measure).
+     */
+    void observe(const CohMsg &msg);
+
+    /**
+     * Feed the speculation-driving VMSP. Unlike the passive
+     * observers, it sees the block's *service* order, and the write
+     * observation is deferred to grant time so that speculatively
+     * served reads -- which never appear as request messages -- can
+     * first be credited into the open reader vector from the
+     * reference bits piggy-backed on this write's invalidation
+     * acknowledgements (Section 4.2 verification). Without this
+     * feedback, successful speculation would erase the very pattern
+     * it relies on.
+     */
+    void specObserve(BlockId blk, SymKind kind, NodeId src);
+
+    void processRequest(Entry &e, const CohMsg &msg);
+    void onGetS(Entry &e, const CohMsg &msg);
+    void onWrite(Entry &e, const CohMsg &msg, bool upgrade_grant);
+    void onInvAck(Entry &e, const CohMsg &msg);
+    void onWriteBack(Entry &e, const CohMsg &msg);
+
+    /** Grant exclusive ownership at the end of a write transaction. */
+    void grantExcl(Entry &e, BlockId blk);
+
+    /** Process deferred requests until busy again or empty. */
+    void drain(BlockId blk);
+
+    /** Send a message from this node after @p delay cycles. */
+    void sendAfter(Tick delay, CohMsg msg);
+
+    // --- Speculation (Section 4) -------------------------------------
+
+    /** True iff read speculation is configured and a VMSP is attached. */
+    bool specEnabled() const { return mode_ != SpecMode::None && vmsp_; }
+
+    /** SWI bookkeeping when a write transaction completes. */
+    void writeCompleted(BlockId blk, NodeId writer);
+
+    /** Attempt a speculative write invalidation of @p blk owned by
+     * @p writer (called when the writer moves on to another block). */
+    void trySwi(BlockId blk, NodeId writer);
+
+    /** SWI recall finished: push predicted readers, open the epoch. */
+    void completeSwi(Entry &e, BlockId blk);
+
+    /** First-Read trigger after serving a read for @p reader. */
+    void frCheck(Entry &e, BlockId blk, NodeId reader);
+
+    /** Push speculative copies to @p targets. */
+    void pushSpec(Entry &e, BlockId blk, NodeSet targets,
+                  SpecTrigger trig, const HistoryKey &key, Tick delay);
+
+    /** Premature-SWI detection at request arrival (Section 4.1). */
+    void prematureCheck(const CohMsg &msg);
+
+    /** Record a premature verdict: entry bits + block backoff. */
+    void markPremature(Entry &e, BlockId blk);
+
+    /** Verify a speculative copy from piggy-backed reference state. */
+    void verifyCopy(Entry &e, BlockId blk, const CohMsg &msg);
+
+    NodeId id_;
+    EventQueue &eq_;
+    Network &net_;
+    const ProtoConfig &cfg_;
+    std::vector<PredictorBase *> observers_;
+    Vmsp *vmsp_;
+    SpecMode mode_;
+    SwiTable swiTable_;
+    std::unordered_map<BlockId, Entry> entries_;
+    DirStats stats_;
+    SpecStats specStats_;
+};
+
+} // namespace mspdsm
+
+#endif // MSPDSM_DSM_DIRECTORY_HH

@@ -1,0 +1,60 @@
+#include "dsm/processor.hh"
+
+#include "base/logging.hh"
+
+namespace mspdsm
+{
+
+void
+GlobalBarrier::arrive(std::function<void()> resume)
+{
+    waiting_.push_back(std::move(resume));
+    if (waiting_.size() < parties_)
+        return;
+    ++episodes_;
+    std::vector<std::function<void()>> ready;
+    ready.swap(waiting_);
+    eq_.scheduleAfter(cost_, [ready = std::move(ready)] {
+        for (const auto &fn : ready)
+            fn();
+    });
+}
+
+void
+Processor::step()
+{
+    panic_if(!trace_, "processor ", id_, " started without a trace");
+    if (pc_ >= trace_->size()) {
+        done_ = true;
+        stats_.finishTick = eq_.curTick();
+        return;
+    }
+
+    const TraceOp &op = (*trace_)[pc_++];
+    ++stats_.ops;
+
+    switch (op.kind) {
+      case OpKind::Compute:
+        eq_.scheduleAfter(op.cycles, [this] { step(); });
+        return;
+      case OpKind::Read:
+      case OpKind::Write: {
+        const Tick issued = eq_.curTick();
+        cache_.access(op.addr, op.kind == OpKind::Write,
+                      [this, issued](bool remote) {
+            const Tick stall = eq_.curTick() - issued;
+            stats_.memWait += stall;
+            if (remote)
+                stats_.requestWait += stall;
+            step();
+        });
+        return;
+      }
+      case OpKind::Barrier:
+        barrier_.arrive([this] { step(); });
+        return;
+    }
+    panic("unknown trace op kind");
+}
+
+} // namespace mspdsm

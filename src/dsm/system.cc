@@ -1,0 +1,202 @@
+#include "dsm/system.hh"
+
+#include "base/logging.hh"
+
+namespace mspdsm
+{
+
+const char *
+predKindName(PredKind k)
+{
+    switch (k) {
+      case PredKind::None:
+        return "none";
+      case PredKind::Cosmos:
+        return "Cosmos";
+      case PredKind::Msp:
+        return "MSP";
+      case PredKind::Vmsp:
+        return "VMSP";
+    }
+    panic("unknown PredKind ", int(k));
+}
+
+DsmSystem::DsmSystem(const DsmConfig &cfg)
+    : cfg_(cfg)
+{
+    const unsigned n = cfg_.proto.numNodes;
+    fatal_if(n == 0 || n > 61, "node count ", n, " unsupported");
+    fatal_if(cfg_.spec != SpecMode::None && cfg_.pred != PredKind::Vmsp,
+             "read speculation requires the VMSP predictor");
+
+    Rng root(cfg_.proto.seed);
+    net_ = std::make_unique<Network>(eq_, cfg_.proto, root.split());
+    barrier_ = std::make_unique<GlobalBarrier>(eq_, n,
+                                               cfg_.barrierCost);
+
+    auto make_pred = [n](PredKind kind, std::size_t depth)
+        -> std::unique_ptr<PredictorBase> {
+        switch (kind) {
+          case PredKind::None:
+            return nullptr;
+          case PredKind::Cosmos:
+            return std::make_unique<Cosmos>(depth, n);
+          case PredKind::Msp:
+            return std::make_unique<Msp>(depth, n);
+          case PredKind::Vmsp:
+            return std::make_unique<Vmsp>(depth, n);
+        }
+        panic("unknown PredKind");
+    };
+
+    preds_.resize(n);
+    vmsps_.assign(n, nullptr);
+    obs_.resize(n);
+    for (unsigned i = 0; i < n; ++i) {
+        preds_[i] = make_pred(cfg_.pred, cfg_.historyDepth);
+        if (cfg_.pred == PredKind::Vmsp)
+            vmsps_[i] = static_cast<Vmsp *>(preds_[i].get());
+        for (const ObserverSpec &os : cfg_.observers) {
+            fatal_if(os.kind == PredKind::None,
+                     "observer must name a predictor");
+            obs_[i].push_back(make_pred(os.kind, os.depth));
+        }
+    }
+
+    for (unsigned i = 0; i < n; ++i) {
+        caches_.push_back(std::make_unique<CacheCtrl>(
+            NodeId(i), eq_, *net_, cfg_.proto));
+        // Passive observers see the arrival-ordered message stream;
+        // the speculation-driving VMSP is fed separately by the
+        // directory in service order (see Directory::specObserve).
+        std::vector<PredictorBase *> watching;
+        for (auto &o : obs_[i])
+            watching.push_back(o.get());
+        dirs_.push_back(std::make_unique<Directory>(
+            NodeId(i), eq_, *net_, cfg_.proto, std::move(watching),
+            vmsps_[i], cfg_.spec));
+    }
+
+    for (unsigned i = 0; i < n; ++i) {
+        CacheCtrl *cache = caches_[i].get();
+        Directory *dir = dirs_[i].get();
+        net_->attach(NodeId(i), [cache, dir](const CohMsg &m) {
+            switch (m.type) {
+              case MsgType::GetS:
+              case MsgType::GetX:
+              case MsgType::Upgrade:
+              case MsgType::InvAck:
+              case MsgType::WriteBack:
+                dir->handle(m);
+                return;
+              default:
+                cache->handle(m);
+                return;
+            }
+        });
+    }
+
+    for (unsigned i = 0; i < n; ++i) {
+        procs_.push_back(std::make_unique<Processor>(
+            NodeId(i), eq_, *caches_[i], *barrier_));
+    }
+}
+
+DsmSystem::~DsmSystem() = default;
+
+RunResult
+DsmSystem::run(const std::vector<Trace> &traces)
+{
+    fatal_if(traces.size() != procs_.size(),
+             "expected ", procs_.size(), " traces, got ",
+             traces.size());
+
+    for (std::size_t i = 0; i < procs_.size(); ++i)
+        procs_[i]->start(&traces[i]);
+
+    const bool drained = eq_.run(cfg_.tickLimit);
+    panic_if(!drained, "simulation hit the tick limit (deadlock?)");
+    for (const auto &p : procs_)
+        panic_if(!p->done(), "processor ", p->id(),
+                 " did not finish its trace");
+
+    RunResult r;
+    r.execTicks = eq_.curTick();
+    r.barrierEpisodes = barrier_->episodes();
+    r.messages = net_->messagesSent();
+
+    double wait_sum = 0.0;
+    double mem_sum = 0.0;
+    for (const auto &p : procs_) {
+        wait_sum += static_cast<double>(p->stats().requestWait);
+        mem_sum += static_cast<double>(p->stats().memWait);
+    }
+    r.avgRequestWait = wait_sum / static_cast<double>(procs_.size());
+    r.avgMemWait = mem_sum / static_cast<double>(procs_.size());
+
+    for (const auto &c : caches_) {
+        const CacheStats &cs = c->stats();
+        r.reads += cs.demandReads.value() + cs.specServedFr.value() +
+                   cs.specServedSwi.value();
+        r.writes += cs.demandWrites.value();
+        r.specServedFr += cs.specServedFr.value();
+        r.specServedSwi += cs.specServedSwi.value();
+        r.specDropped += cs.specDropped.value();
+    }
+
+    // Aggregate a predictor family (one instance per node) into one
+    // PredStats/StorageReport pair; byte overhead is linear in the
+    // entry count, so the weighted average is exact.
+    auto aggregate = [this](auto &&instance_of_node, PredStats &ps,
+                            StorageReport &st) {
+        double bytes_weighted = 0.0;
+        for (std::size_t i = 0; i < dirs_.size(); ++i) {
+            PredictorBase *p = instance_of_node(i);
+            if (!p)
+                continue;
+            const PredStats &s = p->stats();
+            ps.observed.inc(s.observed.value());
+            ps.predicted.inc(s.predicted.value());
+            ps.correct.inc(s.correct.value());
+            const StorageReport sr = p->storage();
+            st.pteTotal += sr.pteTotal;
+            st.blocksAllocated += sr.blocksAllocated;
+            bytes_weighted += sr.avgBytesPerBlock *
+                              static_cast<double>(sr.blocksAllocated);
+        }
+        if (st.blocksAllocated > 0) {
+            st.avgPte = static_cast<double>(st.pteTotal) /
+                        static_cast<double>(st.blocksAllocated);
+            st.avgBytesPerBlock =
+                bytes_weighted /
+                static_cast<double>(st.blocksAllocated);
+        }
+    };
+
+    for (std::size_t i = 0; i < dirs_.size(); ++i) {
+        const SpecStats &ss = dirs_[i]->specStats();
+        r.specSentFr += ss.specSentFr.value();
+        r.specSentSwi += ss.specSentSwi.value();
+        r.specMissFr += ss.specMissFr.value();
+        r.specMissSwi += ss.specMissSwi.value();
+        r.swiSent += ss.swiSent.value();
+        r.swiPremature += ss.swiPremature.value();
+        r.swiSuppressed += ss.swiSuppressed.value();
+    }
+
+    aggregate([this](std::size_t i) { return preds_[i].get(); },
+              r.pred, r.storage);
+
+    for (std::size_t k = 0; k < cfg_.observers.size(); ++k) {
+        ObserverResult orr;
+        orr.depth = cfg_.observers[k].depth;
+        orr.name = predKindName(cfg_.observers[k].kind);
+        aggregate(
+            [this, k](std::size_t i) { return obs_[i][k].get(); },
+            orr.stats, orr.storage);
+        r.observers.push_back(std::move(orr));
+    }
+    return r;
+}
+
+} // namespace mspdsm

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Top-level speculative coherent DSM: configuration, assembly of the
+ * sixteen nodes (processor, cache controller, home directory,
+ * predictor), and the run/statistics interface the harness, examples,
+ * and tests use. This is the library's main entry point.
+ */
+
+#ifndef MSPDSM_DSM_SYSTEM_HH
+#define MSPDSM_DSM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "dsm/cache.hh"
+#include "dsm/directory.hh"
+#include "dsm/processor.hh"
+#include "net/network.hh"
+#include "pred/predictor.hh"
+#include "pred/seq_predictor.hh"
+#include "pred/vmsp.hh"
+#include "proto/config.hh"
+#include "sim/eventq.hh"
+#include "spec/spec.hh"
+#include "workload/trace.hh"
+
+namespace mspdsm
+{
+
+/** Which predictor to attach at each home directory. */
+enum class PredKind : std::uint8_t
+{
+    None,
+    Cosmos,
+    Msp,
+    Vmsp,
+};
+
+/** @return printable predictor name. */
+const char *predKindName(PredKind k);
+
+/** A passive accuracy observer attached to every home directory. */
+struct ObserverSpec
+{
+    PredKind kind = PredKind::Msp;
+    std::size_t depth = 1;
+};
+
+/** Full configuration of one simulated machine instance. */
+struct DsmConfig
+{
+    ProtoConfig proto;                   //!< Table 1 parameters
+    PredKind pred = PredKind::None;      //!< speculation-driving
+                                         //!< predictor (must be Vmsp
+                                         //!< when spec != None)
+    std::size_t historyDepth = 1;        //!< its history depth
+    SpecMode spec = SpecMode::None;      //!< speculation mode
+    /**
+     * Additional passive observers: several predictors can measure
+     * accuracy on the same run since observation never perturbs the
+     * protocol (the paper's Base-DSM accuracy methodology).
+     */
+    std::vector<ObserverSpec> observers;
+    Tick barrierCost = 50;               //!< barrier release latency
+    Tick tickLimit = Tick{1} << 40;      //!< deadlock guard
+};
+
+/** Per-observer accuracy/storage results. */
+struct ObserverResult
+{
+    std::string name;      //!< predictor name
+    std::size_t depth = 1; //!< history depth
+    PredStats stats;
+    StorageReport storage;
+};
+
+/** Aggregated results of one simulation run. */
+struct RunResult
+{
+    Tick execTicks = 0;          //!< wall-clock of the run
+    double avgRequestWait = 0.0; //!< mean per-proc remote wait, ticks
+    double avgMemWait = 0.0;     //!< mean per-proc total memory stall
+
+    // Demand request volume (denominators for Table 5).
+    std::uint64_t reads = 0;  //!< demand read misses + spec-served
+    std::uint64_t writes = 0; //!< demand write/upgrade misses
+
+    // Speculation-driving predictor, aggregated across directories.
+    PredStats pred;
+    StorageReport storage;
+
+    // Passive observers, in DsmConfig::observers order.
+    std::vector<ObserverResult> observers;
+
+    // Speculation outcome, aggregated across directories/caches.
+    std::uint64_t specSentFr = 0;
+    std::uint64_t specSentSwi = 0;
+    std::uint64_t specMissFr = 0;
+    std::uint64_t specMissSwi = 0;
+    std::uint64_t specServedFr = 0;  //!< reads absorbed by FR pushes
+    std::uint64_t specServedSwi = 0; //!< reads absorbed by SWI pushes
+    std::uint64_t specDropped = 0;
+    std::uint64_t swiSent = 0;
+    std::uint64_t swiPremature = 0;
+    std::uint64_t swiSuppressed = 0;
+
+    std::uint64_t messages = 0; //!< total network messages
+    std::uint64_t barrierEpisodes = 0;
+};
+
+/**
+ * One simulated CC-NUMA machine.
+ *
+ * Usage:
+ * @code
+ *   DsmConfig cfg;
+ *   cfg.pred = PredKind::Vmsp;
+ *   cfg.spec = SpecMode::SwiFirstRead;
+ *   DsmSystem sys(cfg);
+ *   RunResult r = sys.run(workload.traces);
+ * @endcode
+ */
+class DsmSystem
+{
+  public:
+    explicit DsmSystem(const DsmConfig &cfg);
+    ~DsmSystem();
+
+    DsmSystem(const DsmSystem &) = delete;
+    DsmSystem &operator=(const DsmSystem &) = delete;
+
+    /**
+     * Execute one trace per processor to completion.
+     * @param traces exactly numNodes traces
+     * @return aggregated statistics
+     */
+    RunResult run(const std::vector<Trace> &traces);
+
+    /** Access a node's cache controller (tests). */
+    CacheCtrl &cache(NodeId n) { return *caches_[n]; }
+
+    /** Access a node's directory (tests). */
+    Directory &directory(NodeId n) { return *dirs_[n]; }
+
+    /** Access a node's speculation predictor, may be null (tests). */
+    PredictorBase *predictor(NodeId n) { return preds_[n].get(); }
+
+    /** Access a node's i-th passive observer (tests). */
+    PredictorBase *
+    observer(NodeId n, std::size_t i)
+    {
+        return obs_[n][i].get();
+    }
+
+    /** The event queue (tests). */
+    EventQueue &eventQueue() { return eq_; }
+
+    /** The configuration in force. */
+    const DsmConfig &config() const { return cfg_; }
+
+  private:
+    DsmConfig cfg_;
+    EventQueue eq_;
+    std::unique_ptr<Network> net_;
+    std::vector<std::unique_ptr<PredictorBase>> preds_;
+    std::vector<Vmsp *> vmsps_; //!< non-owning views of preds_
+    //! per node, per ObserverSpec: passive observers
+    std::vector<std::vector<std::unique_ptr<PredictorBase>>> obs_;
+    std::vector<std::unique_ptr<CacheCtrl>> caches_;
+    std::vector<std::unique_ptr<Directory>> dirs_;
+    std::unique_ptr<GlobalBarrier> barrier_;
+    std::vector<std::unique_ptr<Processor>> procs_;
+};
+
+} // namespace mspdsm
+
+#endif // MSPDSM_DSM_SYSTEM_HH

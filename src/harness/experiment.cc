@@ -1,0 +1,66 @@
+#include "harness/experiment.hh"
+
+namespace mspdsm
+{
+
+namespace
+{
+
+AppParams
+toAppParams(const ExperimentConfig &ec)
+{
+    AppParams p;
+    p.numProcs = ec.numProcs;
+    p.scale = ec.scale;
+    p.iterations = ec.iterations;
+    p.seed = ec.seed;
+    return p;
+}
+
+DsmConfig
+baseConfig(const ExperimentConfig &ec, const Workload &w)
+{
+    DsmConfig cfg;
+    cfg.proto.numNodes = ec.numProcs;
+    cfg.proto.seed = ec.seed;
+    cfg.proto.netJitter = w.netJitter;
+    return cfg;
+}
+
+} // namespace
+
+Workload
+buildWorkload(const std::string &app, const ExperimentConfig &ec)
+{
+    return makeApp(app, toAppParams(ec));
+}
+
+RunResult
+runAccuracy(const std::string &app, std::size_t depth,
+            const ExperimentConfig &ec)
+{
+    const Workload w = buildWorkload(app, ec);
+    DsmConfig cfg = baseConfig(ec, w);
+    cfg.pred = PredKind::None;
+    cfg.spec = SpecMode::None;
+    cfg.observers = {{PredKind::Cosmos, depth},
+                     {PredKind::Msp, depth},
+                     {PredKind::Vmsp, depth}};
+    DsmSystem sys(cfg);
+    return sys.run(w.traces);
+}
+
+RunResult
+runSpec(const std::string &app, SpecMode mode,
+        const ExperimentConfig &ec)
+{
+    const Workload w = buildWorkload(app, ec);
+    DsmConfig cfg = baseConfig(ec, w);
+    cfg.pred = PredKind::Vmsp;
+    cfg.historyDepth = 1;
+    cfg.spec = mode;
+    DsmSystem sys(cfg);
+    return sys.run(w.traces);
+}
+
+} // namespace mspdsm

@@ -1,0 +1,42 @@
+#include "model/analytic.hh"
+
+#include "base/logging.hh"
+
+namespace mspdsm
+{
+
+double
+commSpeedup(const ModelParams &mp)
+{
+    fatal_if(mp.f < 0.0 || mp.f > 1.0, "f out of [0,1]");
+    fatal_if(mp.p < 0.0 || mp.p > 1.0, "p out of [0,1]");
+    fatal_if(mp.rtl <= 0.0, "rtl must be positive");
+    fatal_if(mp.n < 0.0, "n must be non-negative");
+    const double denom =
+        (1.0 - mp.f) + mp.f * (mp.p / mp.rtl + mp.n * (1.0 - mp.p));
+    return 1.0 / denom;
+}
+
+double
+speedup(const ModelParams &mp)
+{
+    fatal_if(mp.c < 0.0 || mp.c > 1.0, "c out of [0,1]");
+    const double cs = commSpeedup(mp);
+    return 1.0 / ((1.0 - mp.c) + mp.c / cs);
+}
+
+std::vector<CurvePoint>
+sweepCommunicationRatio(ModelParams mp, int points)
+{
+    fatal_if(points < 2, "need at least two sample points");
+    std::vector<CurvePoint> out;
+    out.reserve(static_cast<std::size_t>(points));
+    for (int i = 0; i < points; ++i) {
+        mp.c = static_cast<double>(i) /
+               static_cast<double>(points - 1);
+        out.push_back(CurvePoint{mp.c, speedup(mp)});
+    }
+    return out;
+}
+
+} // namespace mspdsm

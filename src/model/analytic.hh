@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The paper's analytic performance model (Section 5, Equations 1-2).
+ *
+ * The model estimates the speedup of a speculative coherent DSM from
+ * five parameters: the application's communication ratio on the
+ * critical path (c), the fraction of requests executed speculatively
+ * (f), the prediction accuracy (p), the remote-to-local latency ratio
+ * (rtl), and the misspeculation penalty factor (n, in units of a
+ * remote access).
+ */
+
+#ifndef MSPDSM_MODEL_ANALYTIC_HH
+#define MSPDSM_MODEL_ANALYTIC_HH
+
+#include <vector>
+
+namespace mspdsm
+{
+
+/** Parameters of the Section 5 model. */
+struct ModelParams
+{
+    double c = 0.5;   //!< communication ratio on the critical path
+    double f = 1.0;   //!< fraction of requests executed speculatively
+    double p = 0.9;   //!< prediction accuracy
+    double rtl = 4.0; //!< remote-to-local access latency ratio
+    double n = 2.0;   //!< misspeculation penalty factor
+};
+
+/**
+ * Equation 1: speedup of communication time.
+ *
+ *   comm-speedup = 1 / ((1-f) + f*(p/rtl + n*(1-p)))
+ */
+double commSpeedup(const ModelParams &mp);
+
+/**
+ * Equation 2: overall application speedup.
+ *
+ *   speedup = 1 / ((1-c) + c/comm-speedup)
+ */
+double speedup(const ModelParams &mp);
+
+/** One sampled point of a Figure 6 curve. */
+struct CurvePoint
+{
+    double c;       //!< communication ratio
+    double speedup; //!< Equation 2 value
+};
+
+/**
+ * Sample one Figure 6 curve: speedup as a function of c in [0,1]
+ * with everything else held at @p mp.
+ * @param points number of evenly spaced samples (>= 2)
+ */
+std::vector<CurvePoint> sweepCommunicationRatio(ModelParams mp,
+                                                int points);
+
+} // namespace mspdsm
+
+#endif // MSPDSM_MODEL_ANALYTIC_HH

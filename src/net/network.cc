@@ -1,0 +1,82 @@
+#include "net/network.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace mspdsm
+{
+
+Network::Network(EventQueue &eq, const ProtoConfig &cfg, Rng rng)
+    : eq_(eq), cfg_(cfg), rng_(rng),
+      handlers_(cfg.numNodes),
+      egressFree_(cfg.numNodes, 0),
+      ingressFree_(cfg.numNodes, 0),
+      pairLast_(std::size_t{cfg.numNodes} * cfg.numNodes, 0)
+{
+}
+
+void
+Network::attach(NodeId n, Deliver handler)
+{
+    panic_if(n >= handlers_.size(), "attach: node ", n, " out of range");
+    handlers_[n] = std::move(handler);
+}
+
+void
+Network::send(CohMsg msg)
+{
+    panic_if(msg.src >= cfg_.numNodes || msg.dst >= cfg_.numNodes,
+             "send: bad endpoints in ", msg.toString());
+    panic_if(!handlers_[msg.dst], "send: node ", msg.dst,
+             " has no handler");
+    sent_.inc();
+
+    const Tick now = eq_.curTick();
+
+    if (msg.src == msg.dst) {
+        // Local traffic (processor to its own home directory and
+        // back) crosses only the node's bus.
+        eq_.schedule(now + 1,
+                     [this, msg] { handlers_[msg.dst](msg); });
+        return;
+    }
+
+    const Tick occ = carriesData(msg.type) ? cfg_.niData
+                                           : cfg_.niControl;
+
+    // Egress NI: serialize injection.
+    const Tick inject_start = std::max(now, egressFree_[msg.src]);
+    queued_.inc(inject_start - now);
+    const Tick departure = inject_start + occ;
+    egressFree_[msg.src] = departure;
+
+    // Flight time plus queueing jitter. Point-to-point order between
+    // one (src,dst) pair is preserved by clamping arrival times to be
+    // monotone per pair -- a property the protocol relies on (e.g. a
+    // data grant must not be overtaken by a subsequent recall from
+    // the same home). Messages from *different* sources still race.
+    Tick flight = cfg_.netLatency;
+    if (cfg_.netJitter > 0)
+        flight += rng_.uniform(0, cfg_.netJitter);
+    Tick arrival = departure + flight;
+    const std::size_t pair = msg.src * cfg_.numNodes + msg.dst;
+    if (arrival <= pairLast_[pair])
+        arrival = pairLast_[pair] + 1;
+    pairLast_[pair] = arrival;
+
+    // Ingress NI at the destination: reserve at *arrival* time so
+    // that messages contend in arrival order. Reserving at send time
+    // would force delivery in injection order and suppress exactly
+    // the message re-ordering the predictors are sensitive to.
+    eq_.schedule(arrival, [this, msg, occ] {
+        const Tick arr = eq_.curTick();
+        const Tick start = std::max(arr, ingressFree_[msg.dst]);
+        queued_.inc(start - arr);
+        const Tick delivered = start + occ;
+        ingressFree_[msg.dst] = delivered;
+        eq_.schedule(delivered, [this, msg] { handlers_[msg.dst](msg); });
+    });
+}
+
+} // namespace mspdsm

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Point-to-point interconnect with per-node network interfaces.
+ *
+ * The paper assumes a constant-latency switched network but models
+ * contention at the network interfaces (Section 6). We model each
+ * node's NI as two serial resources (egress and ingress): a message
+ * occupies the NI for niControl or niData cycles depending on whether
+ * it carries a block. Flight time is netLatency plus a bounded uniform
+ * jitter representing switch/controller queueing; jitter is what lets
+ * concurrently issued invalidation acks arrive re-ordered.
+ *
+ * Local messages (src == dst, e.g. a processor accessing its own home
+ * directory) bypass the NIs and the switch and are delivered after a
+ * single bus cycle.
+ */
+
+#ifndef MSPDSM_NET_NETWORK_HH
+#define MSPDSM_NET_NETWORK_HH
+
+#include <functional>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/stats.hh"
+#include "proto/config.hh"
+#include "proto/msg.hh"
+#include "sim/eventq.hh"
+
+namespace mspdsm
+{
+
+/**
+ * The interconnect. Owns no protocol state; it only moves CohMsg
+ * values between nodes with appropriate delays.
+ */
+class Network
+{
+  public:
+    /** Invoked at the delivery tick at the destination node. */
+    using Deliver = std::function<void(const CohMsg &)>;
+
+    /**
+     * @param eq event queue driving the simulation
+     * @param cfg machine configuration (latencies, node count)
+     * @param rng dedicated random stream for jitter
+     */
+    Network(EventQueue &eq, const ProtoConfig &cfg, Rng rng);
+
+    /**
+     * Register the destination handler for node @p n. Must be called
+     * for every node before the first send.
+     */
+    void attach(NodeId n, Deliver handler);
+
+    /** Inject @p msg at its source NI at the current tick. */
+    void send(CohMsg msg);
+
+    /** Messages sent so far. */
+    std::uint64_t messagesSent() const { return sent_.value(); }
+
+    /** Total cycles messages spent queued behind busy NIs. */
+    std::uint64_t queueingCycles() const { return queued_.value(); }
+
+  private:
+    EventQueue &eq_;
+    const ProtoConfig &cfg_;
+    Rng rng_;
+    std::vector<Deliver> handlers_;
+    std::vector<Tick> egressFree_; //!< next free tick per source NI
+    std::vector<Tick> ingressFree_; //!< next free tick per dest NI
+    std::vector<Tick> pairLast_; //!< last arrival per (src,dst) pair
+    Counter sent_;
+    Counter queued_;
+};
+
+} // namespace mspdsm
+
+#endif // MSPDSM_NET_NETWORK_HH

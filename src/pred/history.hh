@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Per-block message history and the hashable key it forms.
+ *
+ * A History is a bounded FIFO of the most recent `depth` symbols seen
+ * for one memory block. Its packed form, HistoryKey, indexes the
+ * per-block pattern table. Histories shorter than the configured depth
+ * (during warm-up) are valid keys: the predictor can begin predicting
+ * as soon as it has seen a single message, exactly as the two-level
+ * PAp scheme the paper builds on.
+ */
+
+#ifndef MSPDSM_PRED_HISTORY_HH
+#define MSPDSM_PRED_HISTORY_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "base/logging.hh"
+#include "pred/symbol.hh"
+
+namespace mspdsm
+{
+
+/** Maximum supported history depth (the paper evaluates 1, 2, 4). */
+constexpr std::size_t maxHistoryDepth = 8;
+
+/**
+ * Packed, hashable history: the encoded symbols newest-last, padded
+ * with a sentinel in unused slots.
+ */
+struct HistoryKey
+{
+    /** Sentinel for unused slots; cannot collide with Symbol::encode. */
+    static constexpr std::uint64_t emptySlot = ~std::uint64_t{0};
+
+    std::array<std::uint64_t, maxHistoryDepth> slots;
+    std::uint8_t used = 0;
+
+    HistoryKey() { slots.fill(emptySlot); }
+
+    bool
+    operator==(const HistoryKey &o) const
+    {
+        return used == o.used && slots == o.slots;
+    }
+};
+
+/** FNV-1a style mixing hash over the occupied slots. */
+struct HistoryKeyHash
+{
+    std::size_t
+    operator()(const HistoryKey &k) const
+    {
+        std::uint64_t h = 0xcbf29ce484222325ULL;
+        for (std::uint8_t i = 0; i < k.used; ++i) {
+            h ^= k.slots[i];
+            h *= 0x100000001b3ULL;
+            h ^= h >> 29;
+        }
+        h ^= k.used;
+        h *= 0x100000001b3ULL;
+        return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+};
+
+/**
+ * Bounded FIFO of the most recent symbols for one block.
+ */
+class History
+{
+  public:
+    /** @param depth number of symbols retained, 1..maxHistoryDepth. */
+    explicit History(std::size_t depth)
+        : depth_(depth)
+    {
+        panic_if(depth_ == 0 || depth_ > maxHistoryDepth,
+                 "history depth ", depth_, " out of range");
+    }
+
+    /** Append the newest symbol, evicting the oldest beyond depth. */
+    void
+    push(const Symbol &s)
+    {
+        if (size_ == depth_) {
+            for (std::size_t i = 1; i < size_; ++i)
+                syms_[i - 1] = syms_[i];
+            syms_[size_ - 1] = s;
+        } else {
+            syms_[size_++] = s;
+        }
+    }
+
+    /** Number of symbols currently held (<= depth). */
+    std::size_t size() const { return size_; }
+
+    /** Configured depth. */
+    std::size_t depth() const { return depth_; }
+
+    /** @return packed key over the current contents. */
+    HistoryKey
+    key() const
+    {
+        HistoryKey k;
+        k.used = static_cast<std::uint8_t>(size_);
+        for (std::size_t i = 0; i < size_; ++i)
+            k.slots[i] = syms_[i].encode();
+        return k;
+    }
+
+    /** Oldest-first access for diagnostics. */
+    const Symbol &at(std::size_t i) const { return syms_[i]; }
+
+  private:
+    std::array<Symbol, maxHistoryDepth> syms_;
+    std::size_t depth_;
+    std::size_t size_ = 0;
+};
+
+} // namespace mspdsm
+
+#endif // MSPDSM_PRED_HISTORY_HH

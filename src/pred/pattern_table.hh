@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Per-block two-level prediction state: a bounded history register and
+ * a pattern table mapping history keys to predicted successor symbols.
+ *
+ * Predictions are issued and learned only once the history register is
+ * full (depth symbols seen), matching the PAp discipline the paper
+ * inherits: a deeper history therefore takes longer to learn, which is
+ * exactly the learning-speed effect discussed in Section 7.2.
+ */
+
+#ifndef MSPDSM_PRED_PATTERN_TABLE_HH
+#define MSPDSM_PRED_PATTERN_TABLE_HH
+
+#include <optional>
+#include <unordered_map>
+
+#include "pred/history.hh"
+#include "pred/symbol.hh"
+
+namespace mspdsm
+{
+
+/**
+ * One pattern-table entry: the predicted successor of a history, plus
+ * the Speculative-Write-Invalidation premature bit (Section 4.1).
+ */
+struct PatternEntry
+{
+    Symbol pred;
+    bool premature = false; //!< SWI previously fired too early here
+};
+
+/**
+ * Two-level prediction state for a single memory block.
+ */
+class BlockPattern
+{
+  public:
+    explicit BlockPattern(std::size_t depth)
+        : hist_(depth)
+    {}
+
+    /** @return true once the history register is full. */
+    bool warm() const { return hist_.size() == hist_.depth(); }
+
+    /** Current history key (meaningful only when warm()). */
+    HistoryKey key() const { return hist_.key(); }
+
+    /** Predicted successor of the current history, if any. */
+    std::optional<Symbol>
+    lookup() const
+    {
+        if (!warm())
+            return std::nullopt;
+        auto it = table_.find(hist_.key());
+        if (it == table_.end())
+            return std::nullopt;
+        return it->second.pred;
+    }
+
+    /**
+     * Record @p observed as the successor of the current history
+     * (when warm) and shift it into the history register.
+     */
+    void
+    learnAndPush(const Symbol &observed)
+    {
+        if (warm()) {
+            PatternEntry &e = table_[hist_.key()];
+            if (!(e.pred == observed)) {
+                // The premature bit belongs to the entry's predicted
+                // *write*: it survives as long as the same processor
+                // is still the predicted writer (a producer robbed by
+                // SWI re-acquires with GetX instead of Upgrade, which
+                // must not launder the bit), and is invalidated by
+                // any other replacement.
+                const bool same_writer =
+                    isWriteKind(e.pred.kind) &&
+                    isWriteKind(observed.kind) &&
+                    e.pred.pid == observed.pid;
+                e.pred = observed;
+                if (!same_writer)
+                    e.premature = false;
+            }
+        }
+        hist_.push(observed);
+    }
+
+    /** @return true for Write/Upgrade symbols. */
+    static bool
+    isWriteKind(SymKind k)
+    {
+        return k == SymKind::Write || k == SymKind::Upgrade;
+    }
+
+    /** Number of pattern-table entries for this block. */
+    std::size_t entries() const { return table_.size(); }
+
+    /** Find an entry by explicit key (speculation bookkeeping). */
+    PatternEntry *
+    find(const HistoryKey &k)
+    {
+        auto it = table_.find(k);
+        return it == table_.end() ? nullptr : &it->second;
+    }
+
+    /** Const overload of find(). */
+    const PatternEntry *
+    find(const HistoryKey &k) const
+    {
+        auto it = table_.find(k);
+        return it == table_.end() ? nullptr : &it->second;
+    }
+
+    /** Erase an entry (misspeculation removal), no-op if absent. */
+    void erase(const HistoryKey &k) { table_.erase(k); }
+
+    /** The underlying history register (diagnostics). */
+    const History &history() const { return hist_; }
+
+  private:
+    History hist_;
+    std::unordered_map<HistoryKey, PatternEntry, HistoryKeyHash> table_;
+};
+
+} // namespace mspdsm
+
+#endif // MSPDSM_PRED_PATTERN_TABLE_HH

@@ -1,0 +1,62 @@
+#include "pred/seq_predictor.hh"
+
+namespace mspdsm
+{
+
+Observation
+SeqPredictor::observe(BlockId blk, const PredMsg &msg)
+{
+    Observation obs;
+    if (!inAlphabet(msg.kind))
+        return obs;
+    obs.inAlphabet = true;
+
+    auto [it, fresh] = blocks_.try_emplace(blk, depth_);
+    BlockPattern &bp = it->second;
+    (void)fresh;
+
+    const Symbol sym = Symbol::of(msg.kind, msg.src);
+
+    if (auto pred = bp.lookup()) {
+        obs.predicted = true;
+        obs.correct = (*pred == sym);
+    }
+    bp.learnAndPush(sym);
+
+    account(obs);
+    return obs;
+}
+
+std::optional<Symbol>
+SeqPredictor::prediction(BlockId blk) const
+{
+    auto it = blocks_.find(blk);
+    if (it == blocks_.end())
+        return std::nullopt;
+    return it->second.lookup();
+}
+
+StorageReport
+SeqPredictor::storage() const
+{
+    StorageReport r;
+    r.blocksAllocated = blocks_.size();
+    for (const auto &[blk, bp] : blocks_)
+        r.pteTotal += bp.entries();
+    if (r.blocksAllocated == 0)
+        return r;
+    r.avgPte = static_cast<double>(r.pteTotal) /
+               static_cast<double>(r.blocksAllocated);
+
+    // Paper Section 7.3: a history entry is (type + pid) bits; a
+    // pattern-table entry stores a depth-long key plus the predicted
+    // symbol. For d=1 this yields Cosmos (7 + 14*pte)/8 and
+    // MSP (6 + 12*pte)/8 bytes per block.
+    const double he = historyEntryBits();
+    const double d = static_cast<double>(depth_);
+    const double bits = d * he + r.avgPte * (d * he + he);
+    r.avgBytesPerBlock = bits / 8.0;
+    return r;
+}
+
+} // namespace mspdsm

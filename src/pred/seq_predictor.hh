@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared engine for the per-message sequence predictors (Cosmos and
+ * MSP). The two differ only in their alphabet: Cosmos predicts every
+ * incoming directory message, MSP only the request messages. VMSP has
+ * its own engine (vmsp.hh) because of read-vector folding.
+ */
+
+#ifndef MSPDSM_PRED_SEQ_PREDICTOR_HH
+#define MSPDSM_PRED_SEQ_PREDICTOR_HH
+
+#include <unordered_map>
+
+#include "pred/pattern_table.hh"
+#include "pred/predictor.hh"
+
+namespace mspdsm
+{
+
+/**
+ * Two-level predictor over a per-block symbol stream where every
+ * message in the alphabet is its own symbol <type, pid>.
+ */
+class SeqPredictor : public PredictorBase
+{
+  public:
+    SeqPredictor(std::size_t depth, unsigned numProcs)
+        : PredictorBase(depth, numProcs)
+    {}
+
+    Observation observe(BlockId blk, const PredMsg &msg) override;
+
+    StorageReport storage() const override;
+
+    /** Predicted next message for @p blk, if known. */
+    std::optional<Symbol> prediction(BlockId blk) const;
+
+  protected:
+    /** @return true iff @p kind is in this predictor's alphabet. */
+    virtual bool inAlphabet(SymKind kind) const = 0;
+
+    /** Bits for one history entry: type bits + pid bits. */
+    virtual unsigned historyEntryBits() const = 0;
+
+    std::unordered_map<BlockId, BlockPattern> blocks_;
+};
+
+/**
+ * Cosmos: the general message predictor of Mukherjee & Hill, the
+ * paper's baseline. Predicts requests *and* acknowledgements, using
+ * 3 type bits per symbol.
+ */
+class Cosmos : public SeqPredictor
+{
+  public:
+    using SeqPredictor::SeqPredictor;
+
+    const char *name() const override { return "Cosmos"; }
+
+  protected:
+    bool
+    inAlphabet(SymKind) const override
+    {
+        return true; // every directory-incoming message
+    }
+
+    unsigned historyEntryBits() const override { return 3 + pidBits(); }
+};
+
+/**
+ * MSP: the paper's base Memory Sharing Predictor. Predicts only the
+ * request messages (read / write / upgrade), dropping acknowledgements
+ * from the pattern tables; 2 type bits per symbol.
+ */
+class Msp : public SeqPredictor
+{
+  public:
+    using SeqPredictor::SeqPredictor;
+
+    const char *name() const override { return "MSP"; }
+
+  protected:
+    bool
+    inAlphabet(SymKind kind) const override
+    {
+        return kind == SymKind::Read || kind == SymKind::Write ||
+               kind == SymKind::Upgrade;
+    }
+
+    unsigned historyEntryBits() const override { return 2 + pidBits(); }
+};
+
+} // namespace mspdsm
+
+#endif // MSPDSM_PRED_SEQ_PREDICTOR_HH

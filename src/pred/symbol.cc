@@ -1,0 +1,41 @@
+#include "pred/symbol.hh"
+
+#include <sstream>
+
+namespace mspdsm
+{
+
+const char *
+symKindName(SymKind k)
+{
+    switch (k) {
+      case SymKind::Read:
+        return "Read";
+      case SymKind::Write:
+        return "Write";
+      case SymKind::Upgrade:
+        return "Upgrade";
+      case SymKind::InvAck:
+        return "ack";
+      case SymKind::WriteBack:
+        return "writeback";
+      case SymKind::ReadVec:
+        return "ReadVec";
+    }
+    panic("unknown SymKind ", int(k));
+}
+
+std::string
+Symbol::toString() const
+{
+    std::ostringstream oss;
+    oss << '<' << symKindName(kind) << ',';
+    if (kind == SymKind::ReadVec)
+        oss << vec.toString();
+    else
+        oss << 'P' << pid;
+    oss << '>';
+    return oss.str();
+}
+
+} // namespace mspdsm

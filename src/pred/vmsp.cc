@@ -1,0 +1,172 @@
+#include "pred/vmsp.hh"
+
+namespace mspdsm
+{
+
+Vmsp::BlockState *
+Vmsp::findState(BlockId blk)
+{
+    auto it = blocks_.find(blk);
+    return it == blocks_.end() ? nullptr : &it->second;
+}
+
+const Vmsp::BlockState *
+Vmsp::findState(BlockId blk) const
+{
+    auto it = blocks_.find(blk);
+    return it == blocks_.end() ? nullptr : &it->second;
+}
+
+Observation
+Vmsp::observe(BlockId blk, const PredMsg &msg)
+{
+    Observation obs;
+    const bool is_read = msg.kind == SymKind::Read;
+    const bool is_write =
+        msg.kind == SymKind::Write || msg.kind == SymKind::Upgrade;
+    if (!is_read && !is_write)
+        return obs; // acknowledgements are not in VMSP's alphabet
+    obs.inAlphabet = true;
+
+    auto [it, fresh] = blocks_.try_emplace(blk, depth_);
+    BlockState &st = it->second;
+    (void)fresh;
+
+    if (is_read) {
+        // The open vector does not advance the history; the read is
+        // judged against the prediction standing for this read phase.
+        if (auto pred = st.pattern.lookup()) {
+            obs.predicted = true;
+            obs.correct = pred->kind == SymKind::ReadVec &&
+                          pred->vec.contains(msg.src);
+        }
+        st.openVec.add(msg.src);
+        st.openActive = true;
+        account(obs);
+        return obs;
+    }
+
+    // Write or upgrade: first close any open read vector, learning it
+    // as the successor of the pre-phase history.
+    if (st.openActive) {
+        st.pattern.learnAndPush(Symbol::readVec(st.openVec));
+        st.openVec.clear();
+        st.openActive = false;
+    }
+
+    const Symbol sym = Symbol::of(msg.kind, msg.src);
+    if (auto pred = st.pattern.lookup()) {
+        obs.predicted = true;
+        obs.correct = (*pred == sym);
+    }
+    if (st.pattern.warm()) {
+        st.lastWriteKey = st.pattern.key();
+        st.lastWriteKeyValid = true;
+    } else {
+        st.lastWriteKeyValid = false;
+    }
+    st.pattern.learnAndPush(sym);
+
+    account(obs);
+    return obs;
+}
+
+std::optional<Symbol>
+Vmsp::prediction(BlockId blk) const
+{
+    const BlockState *st = findState(blk);
+    if (!st)
+        return std::nullopt;
+    return st->pattern.lookup();
+}
+
+std::optional<NodeSet>
+Vmsp::predictedReaders(BlockId blk) const
+{
+    auto pred = prediction(blk);
+    if (!pred || pred->kind != SymKind::ReadVec || pred->vec.empty())
+        return std::nullopt;
+    return pred->vec;
+}
+
+NodeSet
+Vmsp::openReaders(BlockId blk) const
+{
+    const BlockState *st = findState(blk);
+    return st ? st->openVec : NodeSet{};
+}
+
+std::optional<HistoryKey>
+Vmsp::predictionKey(BlockId blk) const
+{
+    const BlockState *st = findState(blk);
+    if (!st || !st->pattern.warm())
+        return std::nullopt;
+    return st->pattern.key();
+}
+
+std::optional<HistoryKey>
+Vmsp::lastWriteKey(BlockId blk) const
+{
+    const BlockState *st = findState(blk);
+    if (!st || !st->lastWriteKeyValid)
+        return std::nullopt;
+    return st->lastWriteKey;
+}
+
+bool
+Vmsp::isPremature(BlockId blk, const HistoryKey &k) const
+{
+    const BlockState *st = findState(blk);
+    if (!st)
+        return false;
+    const PatternEntry *e = st->pattern.find(k);
+    return e && e->premature;
+}
+
+void
+Vmsp::setPremature(BlockId blk, const HistoryKey &k)
+{
+    BlockState *st = findState(blk);
+    if (!st)
+        return;
+    if (PatternEntry *e = st->pattern.find(k))
+        e->premature = true;
+}
+
+void
+Vmsp::eraseEntry(BlockId blk, const HistoryKey &k)
+{
+    BlockState *st = findState(blk);
+    if (st)
+        st->pattern.erase(k);
+}
+
+StorageReport
+Vmsp::storage() const
+{
+    StorageReport r;
+    r.blocksAllocated = blocks_.size();
+    for (const auto &[blk, st] : blocks_)
+        r.pteTotal += st.pattern.entries();
+    if (r.blocksAllocated == 0)
+        return r;
+    r.avgPte = static_cast<double>(r.pteTotal) /
+               static_cast<double>(r.blocksAllocated);
+
+    // Paper Section 7.3: a VMSP history entry is 2 type bits plus an
+    // n-bit reader vector (18 bits at n=16). A pattern-table entry
+    // holds at most one vector (a vector is always followed by a
+    // write/upgrade), so at d=1 the key is 18 bits and the prediction
+    // 2+log(n) bits: (18 + 24*pte)/8 bytes per block. For d>1 the key
+    // holds one vector plus (d-1) write symbols.
+    const double hv = 2.0 + numProcs_;
+    const double wr = 2.0 + pidBits();
+    const double d = static_cast<double>(depth_);
+    const double keyBits = hv + (d - 1.0) * wr;
+    const double bits = d * hv + r.avgPte * (keyBits + wr);
+    r.avgBytesPerBlock = bits / 8.0;
+    return r;
+}
+
+} // namespace mspdsm

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * VMSP: the Vector Memory Sharing Predictor (paper Section 3.1).
+ *
+ * VMSP folds every run of read requests between two writes into a
+ * single <Read, vector> symbol, exactly as a full-map directory folds
+ * its sharer list. This removes read re-ordering from the pattern
+ * tables. Writes and upgrades remain individual <type, pid> symbols.
+ *
+ * Per-message accounting (so that accuracy is comparable with Cosmos
+ * and MSP at message granularity):
+ *  - an incoming read is predicted iff an entry exists for the current
+ *    history; it is correct iff that entry is a read vector containing
+ *    the reader;
+ *  - an incoming write/upgrade first closes any open read vector
+ *    (learning it as the successor of the pre-phase history), then is
+ *    checked against the prediction for the updated history.
+ *
+ * VMSP additionally exposes the hooks the speculation engine needs:
+ * the current predicted reader vector, history-key snapshots for
+ * premature-invalidation bits, and entry removal on verified
+ * misspeculation (paper Section 4.2).
+ */
+
+#ifndef MSPDSM_PRED_VMSP_HH
+#define MSPDSM_PRED_VMSP_HH
+
+#include <optional>
+#include <unordered_map>
+
+#include "pred/pattern_table.hh"
+#include "pred/predictor.hh"
+
+namespace mspdsm
+{
+
+/**
+ * Vector Memory Sharing Predictor.
+ */
+class Vmsp : public PredictorBase
+{
+  public:
+    Vmsp(std::size_t depth, unsigned numProcs)
+        : PredictorBase(depth, numProcs)
+    {}
+
+    const char *name() const override { return "VMSP"; }
+
+    Observation observe(BlockId blk, const PredMsg &msg) override;
+
+    StorageReport storage() const override;
+
+    /**
+     * Predicted successor of the current (closed-symbol) history.
+     * While a read vector is open this is the prediction for the
+     * ongoing read phase.
+     */
+    std::optional<Symbol> prediction(BlockId blk) const;
+
+    /**
+     * Predicted reader vector for the current read phase, if the
+     * prediction is a read vector. Convenience for the speculation
+     * engine's First-Read and SWI triggers.
+     */
+    std::optional<NodeSet> predictedReaders(BlockId blk) const;
+
+    /** Readers observed so far in the currently open phase. */
+    NodeSet openReaders(BlockId blk) const;
+
+    /** History key indexing the current prediction (for bookkeeping). */
+    std::optional<HistoryKey> predictionKey(BlockId blk) const;
+
+    /**
+     * Key of the entry whose prediction is the most recently observed
+     * write/upgrade for @p blk -- the entry that carries the SWI
+     * premature bit for that write.
+     */
+    std::optional<HistoryKey> lastWriteKey(BlockId blk) const;
+
+    /** Query the SWI premature bit on an entry. */
+    bool isPremature(BlockId blk, const HistoryKey &k) const;
+
+    /** Set the SWI premature bit on an entry (no-op if gone). */
+    void setPremature(BlockId blk, const HistoryKey &k);
+
+    /** Remove a misspeculated entry from the pattern table. */
+    void eraseEntry(BlockId blk, const HistoryKey &k);
+
+  private:
+    struct BlockState
+    {
+        explicit BlockState(std::size_t depth)
+            : pattern(depth)
+        {}
+
+        BlockPattern pattern;
+        NodeSet openVec;      //!< readers since the last write
+        bool openActive = false;
+        HistoryKey lastWriteKey;
+        bool lastWriteKeyValid = false;
+    };
+
+    BlockState *findState(BlockId blk);
+    const BlockState *findState(BlockId blk) const;
+
+    std::unordered_map<BlockId, BlockState> blocks_;
+};
+
+} // namespace mspdsm
+
+#endif // MSPDSM_PRED_VMSP_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Coherence messages exchanged between cache controllers and
+ * directories in the full-map write-invalidate protocol (paper
+ * Section 2, Figure 1).
+ */
+
+#ifndef MSPDSM_PROTO_MSG_HH
+#define MSPDSM_PROTO_MSG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+
+namespace mspdsm
+{
+
+/** Coherence message types. */
+enum class MsgType : std::uint8_t
+{
+    // Requests: cache -> home directory. These are the messages the
+    // Memory Sharing Predictors observe and predict.
+    GetS,    //!< read: fetch a read-only copy
+    GetX,    //!< write: fetch a writable copy
+    Upgrade, //!< write to an already-cached read-only copy
+
+    // Commands: home directory -> cache.
+    Inval,  //!< invalidate a read-only copy
+    Recall, //!< invalidate the writable copy and return the data
+
+    // Acknowledgements: cache -> home directory. Observed by the
+    // general message predictor (Cosmos) but not by MSP/VMSP.
+    InvAck,    //!< response to Inval
+    WriteBack, //!< data response to Recall
+
+    // Data responses: home directory -> requesting cache.
+    DataShared, //!< read-only copy
+    DataExcl,   //!< writable copy
+    UpgradeAck, //!< permission to write to the held copy
+
+    // Speculation: home directory -> predicted consumer cache.
+    SpecData, //!< speculatively forwarded read-only copy
+};
+
+/** @return mnemonic name of a message type. */
+const char *msgTypeName(MsgType t);
+
+/** @return true for GetS / GetX / Upgrade. */
+bool isRequest(MsgType t);
+
+/** @return true for messages that carry a data block (wider NI slot). */
+bool carriesData(MsgType t);
+
+/** Why a speculative read-only copy was pushed to a consumer. */
+enum class SpecTrigger : std::uint8_t
+{
+    None,      //!< not speculative
+    FirstRead, //!< triggered by the first read of a predicted sequence
+    Swi,       //!< triggered by a successful speculative write inval
+};
+
+/**
+ * One coherence message. Plain value type; the network delivers
+ * copies, never references.
+ */
+struct CohMsg
+{
+    MsgType type = MsgType::GetS;
+    NodeId src = invalidNode;
+    NodeId dst = invalidNode;
+    BlockId blk = 0;
+
+    /**
+     * Requester-side copy state piggy-backed on requests and InvAck,
+     * used by the home for speculation verification (Section 4.2):
+     * hadCopy -- the sender held a valid copy when sending;
+     * copyWasSpec -- that copy had been placed speculatively;
+     * copyReferenced -- the processor had referenced the copy.
+     */
+    bool hadCopy = false;
+    bool copyWasSpec = false;
+    bool copyReferenced = false;
+
+    /** Recall initiated by the SWI heuristic rather than a request. */
+    bool speculative = false;
+
+    /**
+     * On data responses: the transaction crossed node boundaries, so
+     * the requester's stall counts as remote request waiting time
+     * rather than computation (Figure 9 breakdown).
+     */
+    bool remoteWork = false;
+
+    /** For SpecData: which mechanism triggered the push. */
+    SpecTrigger trigger = SpecTrigger::None;
+
+    /** Render for diagnostics. */
+    std::string toString() const;
+};
+
+} // namespace mspdsm
+
+#endif // MSPDSM_PROTO_MSG_HH

@@ -1,0 +1,33 @@
+#include "sim/eventq.hh"
+
+#include "base/logging.hh"
+
+namespace mspdsm
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    panic_if(when < curTick_, "event scheduled in the past (", when,
+             " < ", curTick_, ")");
+    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+}
+
+bool
+EventQueue::run(Tick limit)
+{
+    while (!heap_.empty()) {
+        // Entry must be copied out before pop: the callback may
+        // schedule new events and invalidate the heap top.
+        Entry e = heap_.top();
+        if (e.when > limit)
+            return false;
+        heap_.pop();
+        curTick_ = e.when;
+        ++executed_;
+        e.cb();
+    }
+    return true;
+}
+
+} // namespace mspdsm

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue drives the whole simulated machine. Components
+ * schedule std::function callbacks at absolute ticks; ties are broken by
+ * insertion order, which keeps runs deterministic for a fixed seed.
+ */
+
+#ifndef MSPDSM_SIM_EVENTQ_HH
+#define MSPDSM_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace mspdsm
+{
+
+/**
+ * Global event queue for one simulation instance.
+ */
+class EventQueue
+{
+  public:
+    /** Callback type executed when an event fires. */
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @p when must not be in the past.
+     */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void
+    scheduleAfter(Tick delay, Callback cb)
+    {
+        schedule(curTick_ + delay, std::move(cb));
+    }
+
+    /** Number of events not yet executed. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /**
+     * Run until the queue drains or @p limit ticks elapse.
+     * @return true if the queue drained, false if the limit was hit
+     *         (which usually indicates a deadlock in the simulated
+     *         machine and is treated as an error by callers).
+     */
+    bool run(Tick limit = maxTick);
+
+    /** Total number of events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq; //!< insertion order; breaks ties
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace mspdsm
+
+#endif // MSPDSM_SIM_EVENTQ_HH

@@ -1,0 +1,22 @@
+#include "spec/spec.hh"
+
+#include "base/logging.hh"
+
+namespace mspdsm
+{
+
+const char *
+specModeName(SpecMode m)
+{
+    switch (m) {
+      case SpecMode::None:
+        return "Base-DSM";
+      case SpecMode::FirstRead:
+        return "FR-DSM";
+      case SpecMode::SwiFirstRead:
+        return "SWI-DSM";
+    }
+    panic("unknown SpecMode ", int(m));
+}
+
+} // namespace mspdsm

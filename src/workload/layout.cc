@@ -1,0 +1,86 @@
+#include "workload/layout.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace mspdsm
+{
+
+Region
+Layout::allocAt(NodeId home, unsigned nblocks)
+{
+    fatal_if(home >= cfg_.numNodes, "allocAt: bad home ", home);
+    fatal_if(nblocks == 0, "allocAt: empty region");
+    while (nextPage_ % cfg_.numNodes != home)
+        ++nextPage_;
+
+    Region r;
+    r.base = nextPage_ * static_cast<Addr>(cfg_.pageSize);
+    r.blocks = nblocks;
+    r.blockSize = cfg_.blockSize;
+
+    const unsigned bpp = cfg_.blocksPerPage();
+    const std::uint64_t pages = (nblocks + bpp - 1) / bpp;
+    // Multi-page regions keep a single home only if consecutive pages
+    // land on the same node, which page interleaving forbids; jump by
+    // the full node stride instead so every page has the same home.
+    if (pages == 1) {
+        ++nextPage_;
+    } else {
+        // Allocate page k at nextPage_ + k*numNodes; the region is
+        // then not byte-contiguous, so refuse and ask callers to
+        // split. All generators allocate <= one page per region.
+        fatal_if(pages > 1, "region of ", nblocks,
+                 " blocks spans pages; allocate per-page regions");
+    }
+    return r;
+}
+
+void
+PhaseSchedule::emit(TraceBuilder &trace)
+{
+    std::stable_sort(items_.begin(), items_.end(),
+                     [](const Item &a, const Item &b) {
+                         return a.t < b.t;
+                     });
+    Tick now = 0;
+    for (const Item &it : items_) {
+        if (it.t > now) {
+            trace.compute(it.t - now);
+            now = it.t;
+        }
+        switch (it.op.kind) {
+          case OpKind::Compute:
+            trace.compute(it.op.cycles);
+            now += it.op.cycles;
+            break;
+          case OpKind::Read:
+            trace.read(it.op.addr);
+            break;
+          case OpKind::Write:
+            trace.write(it.op.addr);
+            break;
+          case OpKind::Barrier:
+            trace.barrier();
+            break;
+        }
+    }
+    items_.clear();
+    seq_ = 0;
+}
+
+Region
+Layout::alloc(unsigned nblocks)
+{
+    fatal_if(nblocks == 0, "alloc: empty region");
+    Region r;
+    r.base = nextPage_ * static_cast<Addr>(cfg_.pageSize);
+    r.blocks = nblocks;
+    r.blockSize = cfg_.blockSize;
+    const unsigned bpp = cfg_.blocksPerPage();
+    nextPage_ += (nblocks + bpp - 1) / bpp;
+    return r;
+}
+
+} // namespace mspdsm

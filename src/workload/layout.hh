@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Shared-address-space layout helpers for the workload generators.
+ *
+ * Home assignment is page-interleaved (ProtoConfig::homeOf), so a
+ * generator that wants a region homed at a particular node allocates
+ * it on pages belonging to that node. Keeping one producer's output
+ * blocks on its own pages matters for the SWI heuristic: the
+ * early-write-invalidate table is per home node, so consecutive
+ * writes by a producer only trigger SWI when they reach the same
+ * home, exactly as in a hardware implementation.
+ */
+
+#ifndef MSPDSM_WORKLOAD_LAYOUT_HH
+#define MSPDSM_WORKLOAD_LAYOUT_HH
+
+#include <vector>
+
+#include "base/types.hh"
+#include "proto/config.hh"
+#include "workload/trace.hh"
+
+namespace mspdsm
+{
+
+/** A contiguous run of coherence blocks. */
+struct Region
+{
+    Addr base = 0;          //!< byte address of the first block
+    unsigned blocks = 0;    //!< number of blocks
+    unsigned blockSize = 0; //!< bytes per block
+
+    /** Byte address of block @p i within the region. */
+    Addr
+    addr(unsigned i) const
+    {
+        return base + static_cast<Addr>(i) * blockSize;
+    }
+};
+
+/**
+ * Page-granular allocator over the simulated address space.
+ */
+class Layout
+{
+  public:
+    explicit Layout(const ProtoConfig &cfg)
+        : cfg_(cfg)
+    {}
+
+    /**
+     * Allocate @p nblocks contiguous blocks starting on the next page
+     * whose home is @p home. Pages are never shared between regions.
+     */
+    Region allocAt(NodeId home, unsigned nblocks);
+
+    /** Allocate without a home constraint (spread over nodes). */
+    Region alloc(unsigned nblocks);
+
+    /** Pages consumed so far. */
+    std::uint64_t pagesUsed() const { return nextPage_; }
+
+  private:
+    const ProtoConfig &cfg_;
+    std::uint64_t nextPage_ = 0;
+};
+
+/**
+ * Intended-time scheduler for one processor within one phase.
+ *
+ * Generators that need cross-processor orderings (staggered consumer
+ * ranks, migratory hand-off sequences) register operations at
+ * intended offsets from the phase start; emit() sorts them and
+ * inserts compute gaps reproducing the offsets. Since memory
+ * operations themselves take time, actual issue times slip late;
+ * order-critical schedules must therefore space operations by more
+ * than the worst-case operation latency (about 1.1k cycles for a
+ * three-hop miss under contention).
+ */
+class PhaseSchedule
+{
+  public:
+    /** Register @p op at offset @p t from the phase start. */
+    void
+    at(Tick t, TraceOp op)
+    {
+        items_.push_back(Item{t, seq_++, op});
+    }
+
+    /** Sort by offset (stable) and append to @p trace. */
+    void emit(class TraceBuilder &trace);
+
+  private:
+    struct Item
+    {
+        Tick t;
+        std::uint64_t seq;
+        TraceOp op;
+    };
+
+    std::vector<Item> items_;
+    std::uint64_t seq_ = 0;
+};
+
+/**
+ * Convenience builder for one processor's trace.
+ */
+class TraceBuilder
+{
+  public:
+    TraceBuilder &
+    compute(Tick c)
+    {
+        if (c > 0)
+            ops_.push_back(TraceOp::compute(c));
+        return *this;
+    }
+
+    TraceBuilder &
+    read(Addr a)
+    {
+        ops_.push_back(TraceOp::read(a));
+        return *this;
+    }
+
+    TraceBuilder &
+    write(Addr a)
+    {
+        ops_.push_back(TraceOp::write(a));
+        return *this;
+    }
+
+    TraceBuilder &
+    barrier()
+    {
+        ops_.push_back(TraceOp::barrier());
+        return *this;
+    }
+
+    /** Move the accumulated operations out. */
+    Trace take() { return std::move(ops_); }
+
+    /** Number of operations so far. */
+    std::size_t size() const { return ops_.size(); }
+
+  private:
+    Trace ops_;
+};
+
+} // namespace mspdsm
+
+#endif // MSPDSM_WORKLOAD_LAYOUT_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The seven-application workload suite of the paper (Table 2).
+ *
+ * Each generator synthesizes per-processor traces reproducing the
+ * sharing behaviour the paper attributes to that application in
+ * Sections 6-7 (see DESIGN.md section 5 for the mapping). Input sizes
+ * are scaled down relative to Table 2 so that a full experiment suite
+ * runs in minutes; every reported quantity is a percentage or a
+ * normalized time, so the scaling preserves the paper's shapes.
+ */
+
+#ifndef MSPDSM_WORKLOAD_SUITE_HH
+#define MSPDSM_WORKLOAD_SUITE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "proto/config.hh"
+#include "workload/trace.hh"
+
+namespace mspdsm
+{
+
+/** Common generator parameters. */
+struct AppParams
+{
+    unsigned numProcs = 16;   //!< must match DsmConfig
+    double scale = 1.0;       //!< data-set size multiplier
+    unsigned iterations = 0;  //!< 0 = app default
+    std::uint64_t seed = 42;  //!< workload-level randomness
+    ProtoConfig proto;        //!< block/page geometry for layout
+};
+
+/** Generators, one per Table 2 application. */
+Workload makeAppbt(const AppParams &p);
+Workload makeBarnes(const AppParams &p);
+Workload makeEm3d(const AppParams &p);
+Workload makeMoldyn(const AppParams &p);
+Workload makeOcean(const AppParams &p);
+Workload makeTomcatv(const AppParams &p);
+Workload makeUnstructured(const AppParams &p);
+
+/** Descriptor of one suite entry. */
+struct AppInfo
+{
+    std::string name;        //!< table/figure row label
+    std::string paperInput;  //!< Table 2 input data set
+    unsigned paperIters;     //!< Table 2 iteration count
+    std::string scaledInput; //!< what this reproduction runs
+    unsigned defaultIters;   //!< scaled default
+    std::function<Workload(const AppParams &)> make;
+};
+
+/** The full suite in the paper's (alphabetical) order. */
+const std::vector<AppInfo> &appSuite();
+
+/** Generate one app by name; fatal on unknown name. */
+Workload makeApp(const std::string &name, const AppParams &p);
+
+} // namespace mspdsm
+
+#endif // MSPDSM_WORKLOAD_SUITE_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-processor memory operation traces.
+ *
+ * The simulator's processors are trace-driven, blocking and in-order:
+ * each executes a sequence of compute delays, shared-memory reads and
+ * writes, and global barriers. This is the standard methodology for
+ * coherence studies (the paper's own WWT2 runs real binaries, but the
+ * predictors only ever see the per-block coherence request stream that
+ * such traces induce).
+ */
+
+#ifndef MSPDSM_WORKLOAD_TRACE_HH
+#define MSPDSM_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace mspdsm
+{
+
+/** Kinds of trace operations. */
+enum class OpKind : std::uint8_t
+{
+    Compute, //!< spin for `cycles` processor cycles
+    Read,    //!< shared-memory read of `addr`
+    Write,   //!< shared-memory write of `addr`
+    Barrier, //!< global barrier across all processors
+};
+
+/** One trace operation. */
+struct TraceOp
+{
+    OpKind kind = OpKind::Compute;
+    Addr addr = 0;   //!< byte address (Read/Write)
+    Tick cycles = 0; //!< delay (Compute)
+
+    bool operator==(const TraceOp &) const = default;
+
+    static TraceOp
+    compute(Tick c)
+    {
+        TraceOp op;
+        op.kind = OpKind::Compute;
+        op.cycles = c;
+        return op;
+    }
+
+    static TraceOp
+    read(Addr a)
+    {
+        TraceOp op;
+        op.kind = OpKind::Read;
+        op.addr = a;
+        return op;
+    }
+
+    static TraceOp
+    write(Addr a)
+    {
+        TraceOp op;
+        op.kind = OpKind::Write;
+        op.addr = a;
+        return op;
+    }
+
+    static TraceOp
+    barrier()
+    {
+        TraceOp op;
+        op.kind = OpKind::Barrier;
+        return op;
+    }
+};
+
+/** A full per-processor trace. */
+using Trace = std::vector<TraceOp>;
+
+/**
+ * A complete workload: one trace per processor plus identification
+ * used by the harness and reports.
+ */
+struct Workload
+{
+    std::string name;          //!< e.g. "em3d"
+    std::vector<Trace> traces; //!< one per processor
+    Tick netJitter = 8;        //!< per-app queueing/contention level
+};
+
+} // namespace mspdsm
+
+#endif // MSPDSM_WORKLOAD_TRACE_HH

@@ -1,0 +1,189 @@
+/** @file Unit tests for NodeSet. */
+
+#include <gtest/gtest.h>
+
+#include "base/bitvector.hh"
+
+using namespace mspdsm;
+
+TEST(NodeSet, StartsEmpty)
+{
+    NodeSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0);
+    EXPECT_EQ(s.raw(), 0u);
+}
+
+TEST(NodeSet, AddAndContains)
+{
+    NodeSet s;
+    s.add(3);
+    s.add(7);
+    EXPECT_TRUE(s.contains(3));
+    EXPECT_TRUE(s.contains(7));
+    EXPECT_FALSE(s.contains(4));
+    EXPECT_EQ(s.count(), 2);
+}
+
+TEST(NodeSet, AddIsIdempotent)
+{
+    NodeSet s;
+    s.add(5);
+    s.add(5);
+    EXPECT_EQ(s.count(), 1);
+}
+
+TEST(NodeSet, RemoveMember)
+{
+    NodeSet s;
+    s.add(2);
+    s.add(9);
+    s.remove(2);
+    EXPECT_FALSE(s.contains(2));
+    EXPECT_TRUE(s.contains(9));
+    EXPECT_EQ(s.count(), 1);
+}
+
+TEST(NodeSet, RemoveAbsentIsNoop)
+{
+    NodeSet s;
+    s.add(1);
+    s.remove(14);
+    EXPECT_EQ(s.count(), 1);
+}
+
+TEST(NodeSet, OfBuildsSingleton)
+{
+    NodeSet s = NodeSet::of(11);
+    EXPECT_EQ(s.count(), 1);
+    EXPECT_TRUE(s.contains(11));
+}
+
+TEST(NodeSet, ClearEmpties)
+{
+    NodeSet s;
+    s.add(0);
+    s.add(63);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(NodeSet, UnionCombines)
+{
+    NodeSet a = NodeSet::of(1);
+    NodeSet b = NodeSet::of(2);
+    NodeSet u = a | b;
+    EXPECT_TRUE(u.contains(1));
+    EXPECT_TRUE(u.contains(2));
+    EXPECT_EQ(u.count(), 2);
+}
+
+TEST(NodeSet, MinusSubtracts)
+{
+    NodeSet a;
+    a.add(1);
+    a.add(2);
+    a.add(3);
+    NodeSet d = a.minus(NodeSet::of(2));
+    EXPECT_TRUE(d.contains(1));
+    EXPECT_FALSE(d.contains(2));
+    EXPECT_TRUE(d.contains(3));
+}
+
+TEST(NodeSet, IntersectionKeepsCommon)
+{
+    NodeSet a;
+    a.add(1);
+    a.add(2);
+    NodeSet b;
+    b.add(2);
+    b.add(3);
+    NodeSet i = a & b;
+    EXPECT_EQ(i.count(), 1);
+    EXPECT_TRUE(i.contains(2));
+}
+
+TEST(NodeSet, EqualityIsStructural)
+{
+    NodeSet a;
+    a.add(4);
+    a.add(8);
+    NodeSet b;
+    b.add(8);
+    b.add(4);
+    EXPECT_EQ(a, b);
+    b.add(9);
+    EXPECT_NE(a, b);
+}
+
+TEST(NodeSet, ToVectorAscending)
+{
+    NodeSet s;
+    s.add(9);
+    s.add(0);
+    s.add(33);
+    const std::vector<NodeId> v = s.toVector();
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], 0);
+    EXPECT_EQ(v[1], 9);
+    EXPECT_EQ(v[2], 33);
+}
+
+TEST(NodeSet, ToStringRendersMembers)
+{
+    NodeSet s;
+    s.add(1);
+    s.add(4);
+    EXPECT_EQ(s.toString(), "{1,4}");
+    EXPECT_EQ(NodeSet{}.toString(), "{}");
+}
+
+TEST(NodeSet, SupportsNode63)
+{
+    NodeSet s;
+    s.add(63);
+    EXPECT_TRUE(s.contains(63));
+    EXPECT_EQ(s.count(), 1);
+    EXPECT_EQ(s.raw(), std::uint64_t{1} << 63);
+}
+
+TEST(NodeSet, ContainsOutOfRangeIsFalse)
+{
+    NodeSet s;
+    s.add(0);
+    EXPECT_FALSE(s.contains(64));
+    EXPECT_FALSE(s.contains(invalidNode));
+}
+
+// Property sweep: union/minus/intersection relations hold for a grid
+// of sets.
+class NodeSetAlgebra : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(NodeSetAlgebra, MinusThenUnionRestores)
+{
+    const std::uint64_t bits = GetParam();
+    NodeSet a;
+    for (NodeId i = 0; i < 16; ++i)
+        if ((bits >> i) & 1)
+            a.add(i);
+    NodeSet b;
+    for (NodeId i = 0; i < 16; ++i)
+        if ((bits >> (i + 16)) & 1)
+            b.add(i);
+
+    // (a minus b) and (a and b) partition a.
+    NodeSet diff = a.minus(b);
+    NodeSet inter = a & b;
+    EXPECT_EQ((diff | inter), a);
+    EXPECT_TRUE((diff & inter).empty());
+    // Count is additive over the partition.
+    EXPECT_EQ(diff.count() + inter.count(), a.count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, NodeSetAlgebra,
+                         ::testing::Values(0x00000000ull, 0x0000ffffull,
+                                           0xffff0000ull, 0x5a5aa5a5ull,
+                                           0x12348765ull, 0xffffffffull,
+                                           0x00010001ull, 0x80008000ull));

@@ -1,0 +1,69 @@
+/** @file Unit tests for Counter / Average / pct helpers. */
+
+#include <gtest/gtest.h>
+
+#include "base/stats.hh"
+
+using namespace mspdsm;
+
+TEST(Counter, StartsAtZero)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, IncrementsByOneAndN)
+{
+    Counter c;
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, ResetClears)
+{
+    Counter c;
+    c.inc(9);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, EmptyMeanIsZero)
+{
+    Average a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+}
+
+TEST(Average, MeanOfSamples)
+{
+    Average a;
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(6.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+}
+
+TEST(Average, ResetClears)
+{
+    Average a;
+    a.sample(5.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Pct, ZeroWholeIsZero)
+{
+    EXPECT_DOUBLE_EQ(pct(5, 0), 0.0);
+}
+
+TEST(Pct, ComputesPercentage)
+{
+    EXPECT_DOUBLE_EQ(pct(1, 4), 25.0);
+    EXPECT_DOUBLE_EQ(pct(0, 10), 0.0);
+    EXPECT_DOUBLE_EQ(pct(10, 10), 100.0);
+}

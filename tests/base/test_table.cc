@@ -1,0 +1,69 @@
+/** @file Unit tests for the Table formatter. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/table.hh"
+
+using namespace mspdsm;
+
+TEST(Table, HeaderAndRule)
+{
+    Table t({"app", "acc"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string s = oss.str();
+    EXPECT_NE(s.find("app"), std::string::npos);
+    EXPECT_NE(s.find("acc"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, RowsAppearInOrder)
+{
+    Table t({"a"});
+    t.addRow({"first"});
+    t.addRow({"second"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string s = oss.str();
+    EXPECT_LT(s.find("first"), s.find("second"));
+}
+
+TEST(Table, ColumnsAlign)
+{
+    Table t({"name", "v"});
+    t.addRow({"x", "1"});
+    t.addRow({"longname", "100"});
+    std::ostringstream oss;
+    t.print(oss);
+    std::string line;
+    std::istringstream in(oss.str());
+    std::vector<std::size_t> lens;
+    while (std::getline(in, line))
+        lens.push_back(line.size());
+    // Header, rule and both rows all have the same rendered width.
+    ASSERT_EQ(lens.size(), 4u);
+    EXPECT_EQ(lens[0], lens[1]);
+    EXPECT_EQ(lens[1], lens[2]);
+    EXPECT_EQ(lens[2], lens[3]);
+}
+
+TEST(Table, FmtDouble)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(Table, FmtInteger)
+{
+    EXPECT_EQ(Table::fmt(std::uint64_t{12345}), "12345");
+}
+
+TEST(Table, FmtPctBelowOne)
+{
+    EXPECT_EQ(Table::fmtPct(0.4), "<1");
+    EXPECT_EQ(Table::fmtPct(0.0), "0");
+    EXPECT_EQ(Table::fmtPct(1.4), "1");
+    EXPECT_EQ(Table::fmtPct(97.6), "98");
+}

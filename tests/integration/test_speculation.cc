@@ -1,0 +1,190 @@
+/** @file Full-system speculation: Figure 9 / Table 5 shapes on the
+ * synthesized workloads. */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+using namespace mspdsm;
+
+namespace
+{
+
+ExperimentConfig
+smallRun()
+{
+    ExperimentConfig ec;
+    ec.scale = 0.5;
+    ec.iterations = 10;
+    return ec;
+}
+
+struct Modes
+{
+    RunResult base, fr, swi;
+};
+
+Modes
+runModes(const char *app)
+{
+    return {runSpec(app, SpecMode::None, smallRun()),
+            runSpec(app, SpecMode::FirstRead, smallRun()),
+            runSpec(app, SpecMode::SwiFirstRead, smallRun())};
+}
+
+double
+execRatio(const RunResult &r, const RunResult &base)
+{
+    return static_cast<double>(r.execTicks) /
+           static_cast<double>(base.execTicks);
+}
+
+} // namespace
+
+TEST(Speculation, Em3dSwiGivesLargeReduction)
+{
+    const Modes m = runModes("em3d");
+    // Paper: FR cuts waiting ~50%, SWI ~70%; exec reductions are the
+    // largest of the suite (up to ~24%).
+    EXPECT_LT(execRatio(m.fr, m.base), 0.97);
+    EXPECT_LT(execRatio(m.swi, m.base), execRatio(m.fr, m.base));
+    // SWI invalidates nearly all writes.
+    EXPECT_GT(pct(m.swi.swiSent, m.swi.writes), 70.0);
+    // And covers most reads; FR alone covers ~58%.
+    EXPECT_GT(pct(m.swi.specServedSwi, m.swi.reads), 60.0);
+}
+
+TEST(Speculation, NoAppSlowsDown)
+{
+    for (const AppInfo &info : appSuite()) {
+        const Modes m = runModes(info.name.c_str());
+        EXPECT_LT(execRatio(m.fr, m.base), 1.02) << info.name;
+        EXPECT_LT(execRatio(m.swi, m.base), 1.02) << info.name;
+    }
+}
+
+TEST(Speculation, SwiAtLeastMatchesFrEverywhere)
+{
+    // SWI-DSM includes FR as fallback; it should never lose to
+    // FR-DSM by more than noise.
+    for (const AppInfo &info : appSuite()) {
+        const Modes m = runModes(info.name.c_str());
+        EXPECT_LT(execRatio(m.swi, m.base),
+                  execRatio(m.fr, m.base) + 0.02)
+            << info.name;
+    }
+}
+
+TEST(Speculation, SwiFailsInAppbtButFrHelps)
+{
+    const Modes m = runModes("appbt");
+    // Paper: the producer reads right after writing, SWI is
+    // suppressed (sent ~10%), yet FR covers ~half the reads.
+    EXPECT_LT(pct(m.swi.swiSent, m.swi.writes), 35.0);
+    EXPECT_GT(pct(m.fr.specServedFr, m.fr.reads), 25.0);
+}
+
+TEST(Speculation, MoldynSwiCoversMigratoryReads)
+{
+    const Modes m = runModes("moldyn");
+    // SWI succeeds only in the migratory phase: a meaningful but
+    // partial fraction of writes.
+    const double sent = pct(m.swi.swiSent, m.swi.writes);
+    EXPECT_GT(sent, 25.0);
+    EXPECT_LT(sent, 95.0);
+    EXPECT_GT(m.swi.specServedSwi, 0u);
+    // FR adds the producer/consumer phase reads.
+    EXPECT_GT(m.swi.specServedFr + m.swi.specServedSwi,
+              m.fr.specServedFr);
+}
+
+TEST(Speculation, UnstructuredFrCoversWideReads)
+{
+    const Modes m = runModes("unstructured");
+    // Paper: FR triggers eleven of every twelve wide-shared reads
+    // (~46% of all reads, the other half being migratory).
+    const double fr_cov = pct(m.fr.specServedFr, m.fr.reads);
+    EXPECT_GT(fr_cov, 30.0);
+    // SWI lifts total coverage far beyond FR.
+    const double swi_cov =
+        pct(m.swi.specServedFr + m.swi.specServedSwi, m.swi.reads);
+    EXPECT_GT(swi_cov, fr_cov + 15.0);
+}
+
+TEST(Speculation, TomcatvSwiSucceedsOnAboutHalfTheWrites)
+{
+    const Modes m = runModes("tomcatv");
+    const double sent = pct(m.swi.swiSent, m.swi.writes);
+    // Paper: ~48%. The correction-phase half is premature-suppressed.
+    EXPECT_GT(sent, 25.0);
+    EXPECT_LT(sent, 75.0);
+    EXPECT_GT(m.swi.swiSuppressed + m.swi.swiPremature, 0u);
+}
+
+TEST(Speculation, MisspeculationRateIsLow)
+{
+    // Table 5: write-invalidate misses are minimal everywhere, and
+    // read misses small except in low-accuracy apps. (The threshold
+    // is looser than the paper's <1% because short test runs are
+    // dominated by the learning transient; the full-scale benches
+    // converge lower.)
+    for (const char *app : {"em3d", "moldyn", "tomcatv"}) {
+        const RunResult r = runSpec(app, SpecMode::SwiFirstRead,
+                                    smallRun());
+        EXPECT_LT(pct(r.swiPremature, r.writes), 12.0) << app;
+        EXPECT_LT(pct(r.specMissFr + r.specMissSwi, r.reads), 10.0)
+            << app;
+    }
+}
+
+TEST(Speculation, WaitingTimeDropsWithSpeculation)
+{
+    for (const char *app : {"em3d", "unstructured", "tomcatv"}) {
+        const Modes m = runModes(app);
+        EXPECT_LT(m.fr.avgRequestWait, m.base.avgRequestWait) << app;
+        EXPECT_LT(m.swi.avgRequestWait,
+                  m.fr.avgRequestWait * 1.05)
+            << app;
+    }
+}
+
+TEST(Speculation, BarnesBenefitsLittle)
+{
+    // Paper: barnes has a low communication ratio; speculation
+    // barely moves execution time.
+    const Modes m = runModes("barnes");
+    EXPECT_GT(execRatio(m.swi, m.base), 0.93);
+}
+
+TEST(Speculation, RequestVolumeConsistentAcrossModes)
+{
+    // Speculation converts remote misses into local hits but must
+    // not change how many reads the application performs (within
+    // noise from premature invalidations).
+    for (const AppInfo &info : appSuite()) {
+        const Modes m = runModes(info.name.c_str());
+        const double base = static_cast<double>(m.base.reads);
+        EXPECT_NEAR(static_cast<double>(m.fr.reads), base,
+                    base * 0.05 + 8)
+            << info.name;
+        EXPECT_NEAR(static_cast<double>(m.swi.reads), base,
+                    base * 0.10 + 8)
+            << info.name;
+    }
+}
+
+TEST(Speculation, AverageExecutionReductionInPaperBallpark)
+{
+    // Paper: FR-DSM 8% average reduction, SWI-DSM 12% (on their
+    // testbed). We require the same ordering with material effect.
+    double fr_sum = 0, swi_sum = 0;
+    for (const AppInfo &info : appSuite()) {
+        const Modes m = runModes(info.name.c_str());
+        fr_sum += 1.0 - execRatio(m.fr, m.base);
+        swi_sum += 1.0 - execRatio(m.swi, m.base);
+    }
+    const double fr_avg = fr_sum / 7.0, swi_avg = swi_sum / 7.0;
+    EXPECT_GT(fr_avg, 0.03);
+    EXPECT_GT(swi_avg, fr_avg);
+    EXPECT_LT(swi_avg, 0.35);
+}

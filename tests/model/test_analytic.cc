@@ -1,0 +1,193 @@
+/** @file Tests for the Section 5 analytic model (Equations 1-2 and
+ * the Figure 6 behaviours the paper calls out). */
+
+#include <gtest/gtest.h>
+
+#include "model/analytic.hh"
+
+using namespace mspdsm;
+
+TEST(Model, PerfectPredictionGivesRtlCommSpeedup)
+{
+    // p=1, f=1: every remote access becomes local, so communication
+    // speeds up by exactly rtl.
+    ModelParams mp;
+    mp.p = 1.0;
+    mp.f = 1.0;
+    mp.rtl = 4.0;
+    EXPECT_DOUBLE_EQ(commSpeedup(mp), 4.0);
+}
+
+TEST(Model, NoSpeculationIsNeutral)
+{
+    ModelParams mp;
+    mp.f = 0.0;
+    EXPECT_DOUBLE_EQ(commSpeedup(mp), 1.0);
+    mp.c = 0.7;
+    EXPECT_DOUBLE_EQ(speedup(mp), 1.0);
+}
+
+TEST(Model, ZeroCommunicationAppGainsNothing)
+{
+    ModelParams mp;
+    mp.c = 0.0;
+    mp.p = 1.0;
+    EXPECT_DOUBLE_EQ(speedup(mp), 1.0);
+}
+
+TEST(Model, FullyCommunicationBoundEqualsCommSpeedup)
+{
+    ModelParams mp;
+    mp.c = 1.0;
+    mp.p = 0.9;
+    EXPECT_DOUBLE_EQ(speedup(mp), commSpeedup(mp));
+}
+
+TEST(Model, LowAccuracySlowsDown)
+{
+    // Figure 6 top-left: accuracies of 10%-50% consistently slow the
+    // application down (speedup < 1) at n=2, rtl=4, f=1.
+    for (double p : {0.1, 0.3, 0.5}) {
+        ModelParams mp;
+        mp.p = p;
+        mp.c = 0.8;
+        EXPECT_LT(speedup(mp), 1.0) << "p=" << p;
+    }
+}
+
+TEST(Model, SeventyPercentAccuracyCapsNear25Percent)
+{
+    // Figure 6: p=0.7 at best speeds up a fully communication-bound
+    // application by ~25%.
+    ModelParams mp;
+    mp.p = 0.7;
+    mp.c = 1.0;
+    EXPECT_NEAR(speedup(mp), 1.29, 0.05);
+}
+
+TEST(Model, SpeedupMonotoneInAccuracy)
+{
+    double last = 0.0;
+    for (double p = 0.0; p <= 1.0; p += 0.1) {
+        ModelParams mp;
+        mp.p = p;
+        mp.c = 0.9;
+        const double s = speedup(mp);
+        EXPECT_GT(s, last);
+        last = s;
+    }
+}
+
+TEST(Model, SpeedupMonotoneInCoverage)
+{
+    // With high accuracy, more speculated requests always help.
+    double last = 0.0;
+    for (double f = 0.0; f <= 1.0; f += 0.1) {
+        ModelParams mp;
+        mp.f = f;
+        mp.p = 0.95;
+        mp.c = 0.9;
+        const double s = speedup(mp);
+        EXPECT_GE(s, last);
+        last = s;
+    }
+}
+
+TEST(Model, HigherRtlBenefitsMore)
+{
+    // Figure 6 bottom-right: clusters (rtl 8) gain more than Origin
+    // (rtl 2).
+    ModelParams mp;
+    mp.p = 0.9;
+    mp.c = 0.8;
+    mp.rtl = 2.0;
+    const double origin = speedup(mp);
+    mp.rtl = 4.0;
+    const double mercury = speedup(mp);
+    mp.rtl = 8.0;
+    const double numaq = speedup(mp);
+    EXPECT_LT(origin, mercury);
+    EXPECT_LT(mercury, numaq);
+}
+
+TEST(Model, PenaltyMattersLittleAtHighAccuracy)
+{
+    // Figure 6 top-right: "performance is not as sensitive to
+    // misspeculation penalty at a high prediction accuracy", and
+    // speedups persist even at a penalty factor of 4.
+    ModelParams hi;
+    hi.p = 0.9;
+    hi.c = 1.0;
+    hi.n = 1.5;
+    const double hi_lo_pen = speedup(hi);
+    hi.n = 4.0;
+    EXPECT_GT(speedup(hi), 1.0); // still a speedup at n=4
+    hi.n = 8.0;
+    const double hi_hi_pen = speedup(hi);
+    EXPECT_LT(hi_lo_pen / hi_hi_pen, 3.0);
+
+    ModelParams lo;
+    lo.p = 0.5;
+    lo.c = 1.0;
+    lo.n = 1.5;
+    const double lo_lo_pen = speedup(lo);
+    lo.n = 8.0;
+    const double lo_hi_pen = speedup(lo);
+    // At low accuracy the penalty dominates: far wider spread.
+    EXPECT_GT(lo_lo_pen / lo_hi_pen, 3.0);
+}
+
+TEST(Model, SweepCoversUnitInterval)
+{
+    ModelParams mp;
+    const auto pts = sweepCommunicationRatio(mp, 11);
+    ASSERT_EQ(pts.size(), 11u);
+    EXPECT_DOUBLE_EQ(pts.front().c, 0.0);
+    EXPECT_DOUBLE_EQ(pts.back().c, 1.0);
+    EXPECT_NEAR(pts[5].c, 0.5, 1e-12);
+}
+
+TEST(Model, SweepEndpointsMatchClosedForm)
+{
+    ModelParams mp;
+    mp.p = 0.9;
+    const auto pts = sweepCommunicationRatio(mp, 5);
+    EXPECT_DOUBLE_EQ(pts.front().speedup, 1.0);
+    mp.c = 1.0;
+    EXPECT_DOUBLE_EQ(pts.back().speedup, speedup(mp));
+}
+
+TEST(ModelDeathTest, RejectsBadParameters)
+{
+    ModelParams mp;
+    mp.f = 1.5;
+    EXPECT_DEATH(commSpeedup(mp), "f out of");
+    ModelParams mp2;
+    mp2.c = -0.1;
+    EXPECT_DEATH(speedup(mp2), "c out of");
+    ModelParams mp3;
+    mp3.rtl = 0.0;
+    EXPECT_DEATH(commSpeedup(mp3), "rtl");
+}
+
+// Parameterized identity: Equation 2 decomposes into Equation 1.
+class ModelIdentity
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(ModelIdentity, Eq2EqualsAmdahlOverEq1)
+{
+    const auto [c, p] = GetParam();
+    ModelParams mp;
+    mp.c = c;
+    mp.p = p;
+    const double cs = commSpeedup(mp);
+    const double expect = 1.0 / ((1.0 - c) + c / cs);
+    EXPECT_NEAR(speedup(mp), expect, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelIdentity,
+    ::testing::Combine(::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0),
+                       ::testing::Values(0.1, 0.5, 0.9, 1.0)));

@@ -1,0 +1,179 @@
+/** @file Unit tests for the Cosmos baseline (general message
+ * predictor). */
+
+#include <gtest/gtest.h>
+
+#include "pred/seq_predictor.hh"
+
+using namespace mspdsm;
+
+namespace
+{
+
+PredMsg
+rd(NodeId p)
+{
+    return PredMsg{SymKind::Read, p};
+}
+
+PredMsg
+up(NodeId p)
+{
+    return PredMsg{SymKind::Upgrade, p};
+}
+
+PredMsg
+ack(NodeId p)
+{
+    return PredMsg{SymKind::InvAck, p};
+}
+
+PredMsg
+wb(NodeId p)
+{
+    return PredMsg{SymKind::WriteBack, p};
+}
+
+} // namespace
+
+TEST(Cosmos, ObservesAcknowledgements)
+{
+    Cosmos c(1, 16);
+    EXPECT_TRUE(c.observe(1, ack(2)).inAlphabet);
+    EXPECT_TRUE(c.observe(1, wb(2)).inAlphabet);
+    EXPECT_EQ(c.stats().observed.value(), 2u);
+}
+
+TEST(Cosmos, PredictsAckAfterUpgrade)
+{
+    // The paper's Figure 2 scenario: after <Upgrade,P3> the next
+    // incoming message is P1's invalidation ack.
+    Cosmos c(1, 16);
+    for (int i = 0; i < 3; ++i) {
+        c.observe(0x100, up(3));
+        c.observe(0x100, ack(1));
+        c.observe(0x100, ack(2));
+        c.observe(0x100, rd(1));
+        c.observe(0x100, rd(2));
+    }
+    c.observe(0x100, up(3));
+    auto pred = c.prediction(0x100);
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_EQ(*pred, Symbol::of(SymKind::InvAck, 1));
+}
+
+TEST(Cosmos, StablePatternWithAcksIsFullyPredictable)
+{
+    Cosmos c(1, 16);
+    for (int i = 0; i < 100; ++i) {
+        c.observe(7, up(3));
+        c.observe(7, ack(1));
+        c.observe(7, ack(2));
+        c.observe(7, rd(1));
+        c.observe(7, rd(2));
+    }
+    EXPECT_GT(c.stats().accuracyPct(), 97.0);
+}
+
+TEST(Cosmos, AckReorderingPerturbsPredictions)
+{
+    // Identical request stream; only the acks race. MSP is immune,
+    // Cosmos suffers -- the paper's central claim (Section 3).
+    Cosmos c(1, 16);
+    Msp m(1, 16);
+    for (int i = 0; i < 200; ++i) {
+        const bool swap = i % 2 == 1;
+        for (PredictorBase *p :
+             {static_cast<PredictorBase *>(&c),
+              static_cast<PredictorBase *>(&m)}) {
+            p->observe(7, up(3));
+            p->observe(7, ack(swap ? 2 : 1));
+            p->observe(7, ack(swap ? 1 : 2));
+            p->observe(7, rd(1));
+            p->observe(7, rd(2));
+        }
+    }
+    EXPECT_GT(m.stats().accuracyPct(), 97.0);
+    EXPECT_LT(c.stats().accuracyPct(), m.stats().accuracyPct() - 20.0);
+}
+
+TEST(Cosmos, AcksCanDisambiguateAlternatingConsumers)
+{
+    // The appbt effect (Section 7.1): the ack from the previous
+    // consumer identifies the dimension, so Cosmos predicts the next
+    // reader where MSP cannot.
+    Cosmos c(1, 16);
+    Msp m(1, 16);
+    std::uint64_t cosmos_read_correct = 0, msp_read_correct = 0,
+                  reads = 0;
+    for (int i = 0; i < 200; ++i) {
+        const NodeId prev = i % 2 ? 1 : 2;
+        const NodeId next = i % 2 ? 2 : 1;
+        c.observe(7, up(0));
+        c.observe(7, ack(prev));
+        const bool ok_c = c.observe(7, rd(next)).correct;
+        m.observe(7, up(0));
+        m.observe(7, ack(prev)); // ignored
+        const bool ok_m = m.observe(7, rd(next)).correct;
+        if (i > 4) {
+            ++reads;
+            cosmos_read_correct += ok_c;
+            msp_read_correct += ok_m;
+        }
+    }
+    EXPECT_EQ(cosmos_read_correct, reads); // fully disambiguated
+    EXPECT_EQ(msp_read_correct, 0u);       // always the stale reader
+}
+
+TEST(Cosmos, StorageUsesThreeTypeBits)
+{
+    Cosmos c(1, 16);
+    c.observe(7, up(3));
+    c.observe(7, ack(1));
+    c.observe(7, rd(1));
+    const StorageReport r = c.storage();
+    EXPECT_EQ(r.blocksAllocated, 1u);
+    EXPECT_EQ(r.pteTotal, 2u);
+    // Paper formula at d=1: (7 + 14*pte)/8 bytes.
+    EXPECT_DOUBLE_EQ(r.avgBytesPerBlock, (7.0 + 14.0 * 2.0) / 8.0);
+}
+
+TEST(Cosmos, AckEntriesInflateTables)
+{
+    // Same sharing pattern: Cosmos stores entries for the ack
+    // transitions that MSP does not keep.
+    Cosmos c(1, 16);
+    Msp m(1, 16);
+    for (int i = 0; i < 10; ++i) {
+        for (PredictorBase *p :
+             {static_cast<PredictorBase *>(&c),
+              static_cast<PredictorBase *>(&m)}) {
+            p->observe(7, up(3));
+            p->observe(7, ack(1));
+            p->observe(7, ack(2));
+            p->observe(7, rd(1));
+            p->observe(7, rd(2));
+        }
+    }
+    EXPECT_GT(c.storage().pteTotal, m.storage().pteTotal);
+}
+
+// Depth sweep: a stable pattern is eventually predictable at any
+// depth, but learning takes longer with deeper history.
+class CosmosDepth : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(CosmosDepth, StablePatternConverges)
+{
+    Cosmos c(GetParam(), 16);
+    for (int i = 0; i < 300; ++i) {
+        c.observe(7, up(3));
+        c.observe(7, ack(1));
+        c.observe(7, rd(1));
+    }
+    EXPECT_GT(c.stats().accuracyPct(), 95.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, CosmosDepth,
+                         ::testing::Values(1u, 2u, 4u));

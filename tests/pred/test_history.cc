@@ -1,0 +1,137 @@
+/** @file Unit tests for Symbol, History and HistoryKey. */
+
+#include <gtest/gtest.h>
+
+#include "pred/history.hh"
+
+using namespace mspdsm;
+
+TEST(Symbol, EqualityByKindAndPid)
+{
+    EXPECT_EQ(Symbol::of(SymKind::Read, 3), Symbol::of(SymKind::Read, 3));
+    EXPECT_FALSE(Symbol::of(SymKind::Read, 3) ==
+                 Symbol::of(SymKind::Read, 4));
+    EXPECT_FALSE(Symbol::of(SymKind::Read, 3) ==
+                 Symbol::of(SymKind::Write, 3));
+}
+
+TEST(Symbol, VectorEqualityBySet)
+{
+    NodeSet a;
+    a.add(1);
+    a.add(2);
+    NodeSet b;
+    b.add(2);
+    b.add(1);
+    EXPECT_EQ(Symbol::readVec(a), Symbol::readVec(b));
+    b.add(3);
+    EXPECT_FALSE(Symbol::readVec(a) == Symbol::readVec(b));
+}
+
+TEST(Symbol, EncodeDistinguishesKinds)
+{
+    const auto r = Symbol::of(SymKind::Read, 5).encode();
+    const auto w = Symbol::of(SymKind::Write, 5).encode();
+    const auto u = Symbol::of(SymKind::Upgrade, 5).encode();
+    EXPECT_NE(r, w);
+    EXPECT_NE(w, u);
+    EXPECT_NE(r, u);
+}
+
+TEST(Symbol, EncodeDistinguishesVectorFromRead)
+{
+    NodeSet v = NodeSet::of(5);
+    EXPECT_NE(Symbol::readVec(v).encode(),
+              Symbol::of(SymKind::Read, 5).encode());
+}
+
+TEST(Symbol, ToStringIsReadable)
+{
+    EXPECT_EQ(Symbol::of(SymKind::Read, 3).toString(), "<Read,P3>");
+    NodeSet v;
+    v.add(1);
+    v.add(2);
+    EXPECT_EQ(Symbol::readVec(v).toString(), "<ReadVec,{1,2}>");
+}
+
+TEST(History, PushUpToDepth)
+{
+    History h(2);
+    EXPECT_EQ(h.size(), 0u);
+    h.push(Symbol::of(SymKind::Read, 1));
+    EXPECT_EQ(h.size(), 1u);
+    h.push(Symbol::of(SymKind::Read, 2));
+    EXPECT_EQ(h.size(), 2u);
+    h.push(Symbol::of(SymKind::Read, 3));
+    EXPECT_EQ(h.size(), 2u); // bounded
+    // Oldest evicted: contents now P2, P3.
+    EXPECT_EQ(h.at(0), Symbol::of(SymKind::Read, 2));
+    EXPECT_EQ(h.at(1), Symbol::of(SymKind::Read, 3));
+}
+
+TEST(History, KeyChangesWithContents)
+{
+    History h(2);
+    h.push(Symbol::of(SymKind::Read, 1));
+    const HistoryKey k1 = h.key();
+    h.push(Symbol::of(SymKind::Write, 2));
+    const HistoryKey k2 = h.key();
+    EXPECT_FALSE(k1 == k2);
+}
+
+TEST(History, KeyIsOrderSensitive)
+{
+    History a(2), b(2);
+    a.push(Symbol::of(SymKind::Read, 1));
+    a.push(Symbol::of(SymKind::Read, 2));
+    b.push(Symbol::of(SymKind::Read, 2));
+    b.push(Symbol::of(SymKind::Read, 1));
+    EXPECT_FALSE(a.key() == b.key());
+}
+
+TEST(History, EqualContentsEqualKeys)
+{
+    History a(3), b(3);
+    for (NodeId p : {1, 5, 9}) {
+        a.push(Symbol::of(SymKind::Read, p));
+        b.push(Symbol::of(SymKind::Read, p));
+    }
+    EXPECT_TRUE(a.key() == b.key());
+    EXPECT_EQ(HistoryKeyHash{}(a.key()), HistoryKeyHash{}(b.key()));
+}
+
+TEST(History, PartialAndFullKeysDiffer)
+{
+    History a(2);
+    a.push(Symbol::of(SymKind::Read, 1));
+    History b(2);
+    b.push(Symbol::of(SymKind::Read, 1));
+    b.push(Symbol::of(SymKind::Read, 1));
+    EXPECT_FALSE(a.key() == b.key()); // used counts differ
+}
+
+TEST(History, HashSpreadsAcrossKeys)
+{
+    // Not a strict requirement, but the hash should not collapse a
+    // simple family of keys.
+    HistoryKeyHash hash;
+    std::set<std::size_t> hashes;
+    for (NodeId p = 0; p < 16; ++p) {
+        for (SymKind k : {SymKind::Read, SymKind::Write}) {
+            History h(1);
+            h.push(Symbol::of(k, p));
+            hashes.insert(hash(h.key()));
+        }
+    }
+    EXPECT_EQ(hashes.size(), 32u);
+}
+
+TEST(HistoryDeathTest, DepthZeroPanics)
+{
+    EXPECT_DEATH(History h(0), "depth");
+}
+
+TEST(HistoryDeathTest, DepthBeyondMaxPanics)
+{
+    EXPECT_DEATH(History h(maxHistoryDepth + 1), "depth");
+}

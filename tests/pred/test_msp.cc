@@ -1,0 +1,201 @@
+/** @file Unit tests for the base Memory Sharing Predictor (MSP). */
+
+#include <gtest/gtest.h>
+
+#include "pred/seq_predictor.hh"
+
+using namespace mspdsm;
+
+namespace
+{
+
+PredMsg
+rd(NodeId p)
+{
+    return PredMsg{SymKind::Read, p};
+}
+
+PredMsg
+wr(NodeId p)
+{
+    return PredMsg{SymKind::Write, p};
+}
+
+PredMsg
+up(NodeId p)
+{
+    return PredMsg{SymKind::Upgrade, p};
+}
+
+PredMsg
+ack(NodeId p)
+{
+    return PredMsg{SymKind::InvAck, p};
+}
+
+} // namespace
+
+TEST(Msp, IgnoresAcknowledgements)
+{
+    Msp m(1, 16);
+    const Observation o1 = m.observe(7, ack(1));
+    EXPECT_FALSE(o1.inAlphabet);
+    const Observation o2 =
+        m.observe(7, PredMsg{SymKind::WriteBack, 2});
+    EXPECT_FALSE(o2.inAlphabet);
+    EXPECT_EQ(m.stats().observed.value(), 0u);
+}
+
+TEST(Msp, FirstMessageIsUnpredicted)
+{
+    Msp m(1, 16);
+    const Observation o = m.observe(7, rd(1));
+    EXPECT_TRUE(o.inAlphabet);
+    EXPECT_FALSE(o.predicted);
+}
+
+TEST(Msp, LearnsSuccessorAfterOneOccurrence)
+{
+    Msp m(1, 16);
+    m.observe(7, wr(3)); // history: W3
+    m.observe(7, rd(1)); // learns W3 -> R1
+    m.observe(7, wr(3)); // learns R1 -> W3
+    const Observation o = m.observe(7, rd(1)); // predicted from W3
+    EXPECT_TRUE(o.predicted);
+    EXPECT_TRUE(o.correct);
+}
+
+TEST(Msp, PredictionExposedViaApi)
+{
+    Msp m(1, 16);
+    m.observe(7, wr(3));
+    m.observe(7, rd(1));
+    m.observe(7, wr(3));
+    auto pred = m.prediction(7);
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_EQ(*pred, Symbol::of(SymKind::Read, 1));
+}
+
+TEST(Msp, MispredictionIsCountedAndRelearned)
+{
+    Msp m(1, 16);
+    m.observe(7, wr(3));
+    m.observe(7, rd(1)); // W3 -> R1
+    m.observe(7, wr(3));
+    const Observation o = m.observe(7, rd(2)); // predicted R1, saw R2
+    EXPECT_TRUE(o.predicted);
+    EXPECT_FALSE(o.correct);
+    // Now relearned: W3 -> R2.
+    m.observe(7, wr(3));
+    const Observation o2 = m.observe(7, rd(2));
+    EXPECT_TRUE(o2.correct);
+}
+
+TEST(Msp, StablePatternReaches100Percent)
+{
+    Msp m(1, 16);
+    for (int i = 0; i < 100; ++i) {
+        m.observe(9, wr(0));
+        m.observe(9, rd(1));
+        m.observe(9, rd(2));
+    }
+    // After warm-up every message is predicted correctly.
+    EXPECT_GT(m.stats().accuracyPct(), 97.0);
+    EXPECT_GT(m.stats().coveragePct(), 97.0);
+}
+
+TEST(Msp, ReadReorderingHurtsDepthOne)
+{
+    Msp m(1, 16);
+    for (int i = 0; i < 100; ++i) {
+        m.observe(9, up(0));
+        // Readers swap order every round.
+        m.observe(9, rd(i % 2 ? 1 : 2));
+        m.observe(9, rd(i % 2 ? 2 : 1));
+    }
+    // After the upgrade the next reader is always mispredicted, and
+    // each read's successor flips too: accuracy collapses.
+    EXPECT_LT(m.stats().accuracyPct(), 50.0);
+}
+
+TEST(Msp, DepthTwoSeparatesTwoWriters)
+{
+    // The paper's Section 2 example: P3 and P2 alternate upgrading;
+    // depth 1 cannot tell the writers apart, depth 2 can.
+    Msp d1(1, 16), d2(2, 16);
+    for (int i = 0; i < 100; ++i) {
+        const NodeId w = i % 2 ? 2 : 3;
+        const NodeId r = i % 2 ? 3 : 2;
+        for (Msp *m : {&d1, &d2}) {
+            m->observe(5, up(w));
+            m->observe(5, rd(1));
+            m->observe(5, rd(r));
+        }
+    }
+    EXPECT_LT(d1.stats().accuracyPct(), 75.0);
+    EXPECT_GT(d2.stats().accuracyPct(), 95.0);
+}
+
+TEST(Msp, DeeperHistoryLearnsSlower)
+{
+    Msp d1(1, 16), d4(4, 16);
+    for (int i = 0; i < 10; ++i) {
+        for (Msp *m : {&d1, &d4}) {
+            m->observe(3, wr(0));
+            m->observe(3, rd(1));
+            m->observe(3, rd(2));
+        }
+    }
+    // Same stream, but the deep predictor issues fewer predictions.
+    EXPECT_LT(d4.stats().coveragePct(), d1.stats().coveragePct());
+}
+
+TEST(Msp, BlocksAreIndependent)
+{
+    Msp m(1, 16);
+    m.observe(1, wr(0));
+    m.observe(1, rd(1));
+    m.observe(1, wr(0)); // block 1 history back to [W0]
+    m.observe(2, wr(0));
+    // Block 2 has its own history and table: no prediction although
+    // block 1 learned W0 -> R1 from the same-looking history.
+    const Observation o = m.observe(2, rd(2));
+    EXPECT_FALSE(o.predicted);
+    // And block 1's entry is untouched:
+    auto p1 = m.prediction(1);
+    ASSERT_TRUE(p1.has_value());
+    EXPECT_EQ(*p1, Symbol::of(SymKind::Read, 1));
+}
+
+TEST(Msp, UpgradeAndWriteAreDistinctSymbols)
+{
+    Msp m(1, 16);
+    m.observe(4, wr(3));
+    m.observe(4, rd(1)); // W3 -> R1
+    m.observe(4, up(3)); // R1 -> U3; history U3 (not W3)
+    const Observation o = m.observe(4, rd(1));
+    // U3 never seen before: no prediction from that history.
+    EXPECT_FALSE(o.predicted);
+}
+
+TEST(Msp, StorageCountsEntries)
+{
+    Msp m(1, 16);
+    m.observe(7, wr(3));
+    m.observe(7, rd(1));
+    m.observe(7, rd(2));
+    const StorageReport r = m.storage();
+    EXPECT_EQ(r.blocksAllocated, 1u);
+    EXPECT_EQ(r.pteTotal, 2u); // W3->R1, R1->R2
+    // Paper formula at d=1: (6 + 12*pte)/8 bytes.
+    EXPECT_DOUBLE_EQ(r.avgBytesPerBlock, (6.0 + 12.0 * 2.0) / 8.0);
+}
+
+TEST(Msp, CoverageCountsOnlyAlphabetMessages)
+{
+    Msp m(1, 16);
+    m.observe(7, wr(3));
+    m.observe(7, ack(1)); // ignored entirely
+    m.observe(7, rd(1));
+    EXPECT_EQ(m.stats().observed.value(), 2u);
+}

@@ -1,0 +1,109 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/eventq.hh"
+
+using namespace mspdsm;
+
+TEST(EventQueue, StartsAtTickZeroEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_TRUE(eq.run());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(7, [&order, i] { order.push_back(i); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.schedule(5, [&] { ++fired; });
+    });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.curTick(), 5u);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(10, [&] {
+        eq.scheduleAfter(7, [&] { seen = eq.curTick(); });
+    });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(seen, 17u);
+}
+
+TEST(EventQueue, RunHonoursLimit)
+{
+    EventQueue eq;
+    bool late = false;
+    eq.schedule(5, [] {});
+    eq.schedule(100, [&] { late = true; });
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_FALSE(late);
+    EXPECT_EQ(eq.pending(), 1u);
+    // Resume past the limit.
+    EXPECT_TRUE(eq.run());
+    EXPECT_TRUE(late);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(i, [] {});
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(eq.executed(), 10u);
+}
+
+TEST(EventQueue, ZeroDelaySelfScheduleChain)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 1000)
+            eq.scheduleAfter(0, chain);
+    };
+    eq.schedule(0, chain);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(depth, 1000);
+    EXPECT_EQ(eq.curTick(), 0u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [&] {
+        eq.schedule(50, [] {}); // in the past relative to tick 100
+    });
+    EXPECT_DEATH(eq.run(), "past");
+}

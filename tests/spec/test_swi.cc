@@ -1,0 +1,254 @@
+/** @file Speculative Write-Invalidation: early invalidation on the
+ * producer's next write, premature detection, suppression. */
+
+#include <gtest/gtest.h>
+
+#include "testutil.hh"
+
+using namespace mspdsm;
+using namespace mspdsm::test;
+
+namespace
+{
+
+DsmConfig
+swiConfig(unsigned nodes = 8)
+{
+    DsmConfig cfg = smallConfig(nodes);
+    cfg.pred = PredKind::Vmsp;
+    cfg.historyDepth = 1;
+    cfg.spec = SpecMode::SwiFirstRead;
+    return cfg;
+}
+
+/**
+ * em3d-style rounds: producer 1 writes two blocks (same home)
+ * back-to-back -- the write to b arms SWI for a -- and consumers 2
+ * and 3 later read a in stable rank order.
+ */
+std::vector<Trace>
+producerRounds(const ProtoConfig &proto, unsigned nodes, int rounds)
+{
+    const Addr a = blockOn(proto, 1, 0);
+    const Addr b = blockOn(proto, 1, 1);
+    std::vector<Trace> ts(nodes);
+    for (int r = 0; r < rounds; ++r) {
+        for (unsigned q = 0; q < nodes; ++q)
+            ts[q].push_back(TraceOp::barrier());
+        ts[1].push_back(TraceOp::write(a));
+        ts[1].push_back(TraceOp::compute(10));
+        ts[1].push_back(TraceOp::write(b));
+        for (unsigned q = 0; q < nodes; ++q)
+            ts[q].push_back(TraceOp::barrier());
+        // Consumer 2 reads a first (the FR trigger; late enough for
+        // an SWI push to land first) and later b (keeping b's writes
+        // visible so they re-arm the SWI table); consumer 3's
+        // staggered read of a is FR-coverable.
+        ts[2].push_back(TraceOp::compute(650));
+        ts[2].push_back(TraceOp::read(a));
+        ts[2].push_back(TraceOp::compute(600));
+        ts[2].push_back(TraceOp::read(b));
+        ts[3].push_back(TraceOp::compute(1800));
+        ts[3].push_back(TraceOp::read(a));
+    }
+    return ts;
+}
+
+} // namespace
+
+TEST(Swi, WriteToSecondBlockInvalidatesFirstEarly)
+{
+    DsmConfig cfg = swiConfig();
+    DsmSystem sys(cfg);
+    const RunResult r = sys.run(producerRounds(cfg.proto, 8, 10));
+    EXPECT_GT(r.swiSent, 5u);
+    EXPECT_EQ(r.swiPremature, 0u); // producer never comes back early
+    EXPECT_GT(r.specSentSwi, 0u);  // pushes follow the invalidation
+    EXPECT_GT(r.specServedSwi, 0u);
+}
+
+TEST(Swi, CoversMoreReadsThanFrAlone)
+{
+    std::uint64_t served_fr = 0, served_swi = 0;
+    double covered_fr = 0, covered_swi = 0;
+    {
+        DsmConfig cfg = swiConfig();
+        cfg.spec = SpecMode::FirstRead;
+        DsmSystem sys(cfg);
+        const RunResult r = sys.run(producerRounds(cfg.proto, 8, 20));
+        served_fr = r.specServedFr;
+        covered_fr = static_cast<double>(r.specServedFr) /
+                     static_cast<double>(r.reads);
+    }
+    {
+        DsmConfig cfg = swiConfig();
+        DsmSystem sys(cfg);
+        const RunResult r = sys.run(producerRounds(cfg.proto, 8, 20));
+        served_swi = r.specServedSwi + r.specServedFr;
+        covered_swi = static_cast<double>(r.specServedSwi +
+                                          r.specServedFr) /
+                      static_cast<double>(r.reads);
+    }
+    // FR can cover at most 1-1/degree of the reads (never the
+    // trigger read); SWI covers the whole sequence.
+    EXPECT_GT(served_swi, served_fr);
+    EXPECT_GT(covered_swi, covered_fr + 0.2);
+    (void)covered_fr;
+}
+
+TEST(Swi, ReducesWaitingBeyondFr)
+{
+    // The paper's Figure 9 metric: remote request waiting time. FR
+    // covers the staggered reader; SWI additionally covers the
+    // trigger read, so waiting drops strictly at each step (and
+    // execution time never increases).
+    double base_w = 0, fr_w = 0, swi_w = 0;
+    Tick base_t = 0, fr_t = 0, swi_t = 0;
+    for (SpecMode mode : {SpecMode::None, SpecMode::FirstRead,
+                          SpecMode::SwiFirstRead}) {
+        DsmConfig cfg = swiConfig();
+        cfg.spec = mode;
+        DsmSystem sys(cfg);
+        const RunResult r = sys.run(producerRounds(cfg.proto, 8, 20));
+        if (mode == SpecMode::None) {
+            base_w = r.avgRequestWait;
+            base_t = r.execTicks;
+        } else if (mode == SpecMode::FirstRead) {
+            fr_w = r.avgRequestWait;
+            fr_t = r.execTicks;
+        } else {
+            swi_w = r.avgRequestWait;
+            swi_t = r.execTicks;
+        }
+    }
+    EXPECT_LT(fr_w, base_w);
+    EXPECT_LT(swi_w, fr_w);
+    EXPECT_LE(fr_t, base_t);
+    EXPECT_LE(swi_t, fr_t);
+}
+
+TEST(Swi, ProducerReadingBackIsPremature)
+{
+    DsmConfig cfg = swiConfig();
+    DsmSystem sys(cfg);
+    const Addr a = blockOn(cfg.proto, 1, 0);
+    const Addr b = blockOn(cfg.proto, 1, 1);
+    std::vector<Trace> ts(8);
+    // moldyn-style: producer writes a then b, then re-reads a while
+    // the SWI recall has landed but its push has not: robbed.
+    for (int r = 0; r < 10; ++r) {
+        for (unsigned q = 0; q < 8; ++q)
+            ts[q].push_back(TraceOp::barrier());
+        ts[1].push_back(TraceOp::write(a));
+        ts[1].push_back(TraceOp::write(b));
+        ts[1].push_back(TraceOp::compute(150));
+        ts[1].push_back(TraceOp::read(a)); // robbed by SWI
+        // A consumer keeps the read prediction alive.
+        for (unsigned q = 0; q < 8; ++q)
+            ts[q].push_back(TraceOp::barrier());
+        ts[2].push_back(TraceOp::read(a));
+        ts[2].push_back(TraceOp::read(b));
+    }
+    const RunResult r = sys.run(ts);
+    EXPECT_GT(r.swiPremature, 0u);
+    // After the premature bit is set, SWI stops for that write.
+    EXPECT_GT(r.swiSuppressed, 0u);
+}
+
+TEST(Swi, SuppressionThrottlesRepeatOffenders)
+{
+    DsmConfig cfg = swiConfig();
+    DsmSystem sys(cfg);
+    const Addr a = blockOn(cfg.proto, 1, 0);
+    const Addr b = blockOn(cfg.proto, 1, 1);
+    std::vector<Trace> ts(8);
+    const int rounds = 12;
+    for (int r = 0; r < rounds; ++r) {
+        for (unsigned q = 0; q < 8; ++q)
+            ts[q].push_back(TraceOp::barrier());
+        ts[1].push_back(TraceOp::write(a));
+        ts[1].push_back(TraceOp::write(b));
+        ts[1].push_back(TraceOp::compute(150));
+        ts[1].push_back(TraceOp::read(a));
+        ts[1].push_back(TraceOp::read(b));
+    }
+    const RunResult r = sys.run(ts);
+    // SWI fires at most a few times before the premature bit stops
+    // it; most rounds see no speculative invalidation at all.
+    EXPECT_LT(r.swiSent, static_cast<std::uint64_t>(rounds));
+}
+
+TEST(Swi, StableProducerConsumerIsNotFlaggedPremature)
+{
+    // tomcatv success-half analogue: the producer's next write comes
+    // an iteration later, after the consumer referenced its copy; the
+    // deferred verdict must clear SWI.
+    DsmConfig cfg = swiConfig();
+    DsmSystem sys(cfg);
+    const RunResult r = sys.run(producerRounds(cfg.proto, 8, 15));
+    EXPECT_EQ(r.swiPremature, 0u);
+    EXPECT_EQ(r.swiSuppressed, 0u);
+}
+
+TEST(Swi, MigratoryUpgradesAreCoveredBySwi)
+{
+    DsmConfig cfg = swiConfig();
+    DsmSystem sys(cfg);
+    // Two migratory blocks homed at node 1, visited by 2 -> 3 -> 4;
+    // each visitor's write to the second block SWIs the first.
+    const Addr a = blockOn(cfg.proto, 1, 0);
+    const Addr b = blockOn(cfg.proto, 1, 1);
+    std::vector<Trace> ts(8);
+    for (int round = 0; round < 12; ++round) {
+        for (unsigned q = 0; q < 8; ++q)
+            ts[q].push_back(TraceOp::barrier());
+        for (int j = 0; j < 3; ++j) {
+            const NodeId q = NodeId(2 + j);
+            ts[q].push_back(TraceOp::compute(1 + 3200 * j));
+            ts[q].push_back(TraceOp::read(a));
+            ts[q].push_back(TraceOp::write(a));
+            ts[q].push_back(TraceOp::compute(20));
+            ts[q].push_back(TraceOp::read(b));
+            ts[q].push_back(TraceOp::write(b));
+        }
+    }
+    const RunResult r = sys.run(ts);
+    // The next visitor's read is served from its pushed copy.
+    EXPECT_GT(r.swiSent, 0u);
+    EXPECT_GT(r.specServedSwi, 0u);
+}
+
+TEST(Swi, NoSwiAcrossDifferentHomes)
+{
+    // The early-write-invalidate table is per home node: writes by
+    // the same producer to blocks of *different* homes must not arm
+    // SWI (a hardware-implementability constraint; see DESIGN.md).
+    DsmConfig cfg = swiConfig();
+    DsmSystem sys(cfg);
+    const Addr a = blockOn(cfg.proto, 1, 0); // home 1
+    const Addr b = blockOn(cfg.proto, 2, 0); // home 2
+    std::vector<Trace> ts(8);
+    for (int r = 0; r < 8; ++r) {
+        for (unsigned q = 0; q < 8; ++q)
+            ts[q].push_back(TraceOp::barrier());
+        ts[1].push_back(TraceOp::write(a));
+        ts[1].push_back(TraceOp::write(b));
+        for (unsigned q = 0; q < 8; ++q)
+            ts[q].push_back(TraceOp::barrier());
+        ts[2].push_back(TraceOp::read(a));
+        ts[2].push_back(TraceOp::read(b));
+    }
+    const RunResult r = sys.run(ts);
+    EXPECT_EQ(r.swiSent, 0u);
+}
+
+TEST(Swi, BaseDsmDoesNoSpeculation)
+{
+    DsmConfig cfg = swiConfig();
+    cfg.spec = SpecMode::None;
+    DsmSystem sys(cfg);
+    const RunResult r = sys.run(producerRounds(cfg.proto, 8, 10));
+    EXPECT_EQ(r.swiSent, 0u);
+    EXPECT_EQ(r.specSentFr, 0u);
+    EXPECT_EQ(r.specSentSwi, 0u);
+}

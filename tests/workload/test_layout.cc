@@ -1,0 +1,123 @@
+/** @file Tests for Layout / Region / PhaseSchedule / TraceBuilder. */
+
+#include <gtest/gtest.h>
+
+#include "workload/layout.hh"
+
+using namespace mspdsm;
+
+TEST(Layout, AllocAtPlacesRegionOnRequestedHome)
+{
+    ProtoConfig cfg;
+    Layout layout(cfg);
+    for (NodeId home : {NodeId(0), NodeId(5), NodeId(15), NodeId(3)}) {
+        const Region r = layout.allocAt(home, 16);
+        for (unsigned i = 0; i < r.blocks; ++i)
+            EXPECT_EQ(cfg.homeOf(cfg.blockOf(r.addr(i))), home);
+    }
+}
+
+TEST(Layout, RegionsNeverOverlap)
+{
+    ProtoConfig cfg;
+    Layout layout(cfg);
+    const Region a = layout.allocAt(2, 8);
+    const Region b = layout.allocAt(2, 8);
+    EXPECT_GE(b.base, a.base + cfg.pageSize);
+}
+
+TEST(Layout, AddressesAreBlockAligned)
+{
+    ProtoConfig cfg;
+    Layout layout(cfg);
+    const Region r = layout.allocAt(1, 4);
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_EQ(r.addr(i) % cfg.blockSize, 0u);
+        EXPECT_EQ(cfg.blockOf(r.addr(i)),
+                  cfg.blockOf(r.addr(0)) + i);
+    }
+}
+
+TEST(Layout, AllocSpreadsWithoutConstraint)
+{
+    ProtoConfig cfg;
+    Layout layout(cfg);
+    const Region r = layout.alloc(cfg.blocksPerPage() * 3);
+    EXPECT_EQ(r.blocks, cfg.blocksPerPage() * 3);
+    // Spans three pages and therefore three homes.
+    EXPECT_NE(cfg.homeOf(cfg.blockOf(r.addr(0))),
+              cfg.homeOf(cfg.blockOf(
+                  r.addr(cfg.blocksPerPage()))));
+}
+
+TEST(LayoutDeathTest, RefusesMultiPageHomedRegion)
+{
+    ProtoConfig cfg;
+    Layout layout(cfg);
+    EXPECT_DEATH(layout.allocAt(0, cfg.blocksPerPage() + 1), "spans");
+}
+
+TEST(TraceBuilder, AccumulatesOps)
+{
+    TraceBuilder tb;
+    tb.compute(10).read(0x100).write(0x200).barrier();
+    const Trace t = tb.take();
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[0].kind, OpKind::Compute);
+    EXPECT_EQ(t[1].kind, OpKind::Read);
+    EXPECT_EQ(t[1].addr, 0x100u);
+    EXPECT_EQ(t[2].kind, OpKind::Write);
+    EXPECT_EQ(t[3].kind, OpKind::Barrier);
+}
+
+TEST(TraceBuilder, ZeroComputeIsElided)
+{
+    TraceBuilder tb;
+    tb.compute(0).read(0x40);
+    EXPECT_EQ(tb.size(), 1u);
+}
+
+TEST(PhaseSchedule, EmitsInTimeOrderWithGaps)
+{
+    PhaseSchedule sched;
+    sched.at(100, TraceOp::read(0x40));
+    sched.at(20, TraceOp::write(0x80));
+    TraceBuilder tb;
+    sched.emit(tb);
+    const Trace t = tb.take();
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[0].kind, OpKind::Compute);
+    EXPECT_EQ(t[0].cycles, 20u);
+    EXPECT_EQ(t[1].kind, OpKind::Write);
+    EXPECT_EQ(t[2].kind, OpKind::Compute);
+    EXPECT_EQ(t[2].cycles, 80u);
+    EXPECT_EQ(t[3].kind, OpKind::Read);
+}
+
+TEST(PhaseSchedule, StableForEqualTimes)
+{
+    PhaseSchedule sched;
+    sched.at(50, TraceOp::read(0x1 * 32));
+    sched.at(50, TraceOp::read(0x2 * 32));
+    sched.at(50, TraceOp::read(0x3 * 32));
+    TraceBuilder tb;
+    sched.emit(tb);
+    const Trace t = tb.take();
+    ASSERT_EQ(t.size(), 4u); // compute + three reads
+    EXPECT_EQ(t[1].addr, 0x1u * 32);
+    EXPECT_EQ(t[2].addr, 0x2u * 32);
+    EXPECT_EQ(t[3].addr, 0x3u * 32);
+}
+
+TEST(PhaseSchedule, EmitResetsForReuse)
+{
+    PhaseSchedule sched;
+    sched.at(10, TraceOp::read(0x40));
+    TraceBuilder tb;
+    sched.emit(tb);
+    sched.at(5, TraceOp::write(0x80));
+    sched.emit(tb);
+    const Trace t = tb.take();
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[3].kind, OpKind::Write);
+}
