@@ -1,18 +1,32 @@
 /**
  * @file
- * Shared knobs for the experiment binaries.
+ * Shared infrastructure for the experiment and perf binaries.
  *
- * Every bench accepts an optional scale factor and iteration override
- * on the command line:
- *   ./fig7_accuracy [scale] [iterations]
- * Defaults reproduce the paper's shapes in a few seconds per bench.
+ * Two layers live here:
+ *  - parseArgs(): the [scale] [iterations] command line every paper
+ *    figure/table bench accepts;
+ *  - a small self-contained timing harness (no external benchmark
+ *    library) used by the micro benches: each benchmark is a callable
+ *    returning the number of items it processed; the harness repeats
+ *    it until enough wall time has accumulated, and the results can be
+ *    serialized as JSON (BENCH_core.json) so the perf trajectory of
+ *    the simulator hot path is tracked from PR to PR.
  */
 
 #ifndef MSPDSM_BENCH_BENCH_COMMON_HH
 #define MSPDSM_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
+#include <cstdint>
 #include <cstdlib>
+#include <functional>
+#include <ostream>
 #include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "harness/experiment.hh"
 
@@ -32,6 +46,103 @@ parseArgs(int argc, char **argv)
         ec.iterations =
             static_cast<unsigned>(std::atoi(argv[2]));
     return ec;
+}
+
+/** Outcome of one timed microbenchmark. */
+struct BenchResult
+{
+    std::string name;
+    std::uint64_t items = 0;   //!< total items processed
+    double seconds = 0.0;      //!< wall time spent processing them
+    double itemsPerSec = 0.0;
+};
+
+/** Harness knobs. */
+struct BenchOptions
+{
+    /** Minimum wall time per benchmark; smoke mode uses a fraction. */
+    double minSeconds = 0.5;
+};
+
+/**
+ * Run @p iter repeatedly until at least @p opts.minSeconds of wall
+ * time has accumulated. @p iter returns the number of items (events,
+ * lookups, messages...) processed by one invocation.
+ */
+inline BenchResult
+runBench(const std::string &name, const BenchOptions &opts,
+         const std::function<std::uint64_t()> &iter)
+{
+    using Clock = std::chrono::steady_clock;
+
+    iter(); // warm-up: page in code and data
+
+    BenchResult r;
+    r.name = name;
+    while (r.seconds < opts.minSeconds) {
+        const auto t0 = Clock::now();
+        const std::uint64_t items = iter();
+        const auto t1 = Clock::now();
+        r.items += items;
+        r.seconds +=
+            std::chrono::duration<double>(t1 - t0).count();
+    }
+    if (r.seconds > 0.0)
+        r.itemsPerSec = static_cast<double>(r.items) / r.seconds;
+    return r;
+}
+
+/** Peak resident set size of this process, in bytes (0 if unknown). */
+inline std::uint64_t
+peakRssBytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+        return static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+        return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+    }
+#endif
+    return 0;
+}
+
+/** Render results as an aligned human-readable listing. */
+inline void
+printResults(std::ostream &os, const std::vector<BenchResult> &rs)
+{
+    for (const BenchResult &r : rs) {
+        os << r.name;
+        for (std::size_t i = r.name.size(); i < 28; ++i)
+            os << ' ';
+        os << "  " << r.itemsPerSec << " items/s  (" << r.items
+           << " items in " << r.seconds << " s)\n";
+    }
+}
+
+/**
+ * Serialize results plus headline metrics as the BENCH_core.json
+ * schema consumed by CI and the ROADMAP perf log.
+ */
+inline void
+writeJson(std::ostream &os, const std::vector<BenchResult> &rs,
+          const std::vector<std::pair<std::string, double>> &headline)
+{
+    os << "{\n  \"schema\": \"mspdsm-bench-core-v1\",\n";
+    for (const auto &[key, value] : headline)
+        os << "  \"" << key << "\": " << value << ",\n";
+    os << "  \"peak_rss_bytes\": " << peakRssBytes() << ",\n";
+    os << "  \"benches\": [\n";
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        const BenchResult &r = rs[i];
+        os << "    {\"name\": \"" << r.name << "\", \"items\": "
+           << r.items << ", \"seconds\": " << r.seconds
+           << ", \"items_per_sec\": " << r.itemsPerSec << "}"
+           << (i + 1 < rs.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
 }
 
 } // namespace mspdsm::bench

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The perf-tracking entry point: runs the sim and predictor micro
+ * suites and writes BENCH_core.json (events/sec, lookups/sec, peak
+ * RSS plus every individual result), so the simulator hot path's
+ * throughput trajectory is recorded from PR to PR and regressions are
+ * visible in CI.
+ *
+ * Usage: bench_core [--smoke] [-o FILE]   (default FILE: BENCH_core.json)
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "micro_suites.hh"
+
+int
+main(int argc, char **argv)
+{
+    mspdsm::bench::BenchOptions opts;
+    const char *out = "BENCH_core.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            opts.minSeconds = 0.05;
+        else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc)
+            out = argv[++i];
+    }
+
+    auto rs = mspdsm::bench::runSimSuite(opts);
+    auto pr = mspdsm::bench::runPredictorSuite(opts);
+    rs.insert(rs.end(), pr.begin(), pr.end());
+
+    mspdsm::bench::printResults(std::cout, rs);
+
+    const double events =
+        mspdsm::bench::itemsPerSec(rs, "eventq/throughput");
+    const double lookups =
+        mspdsm::bench::itemsPerSec(rs, "pred/observe_mix");
+
+    std::ofstream f(out);
+    if (!f) {
+        std::cerr << "cannot open " << out << " for writing\n";
+        return 1;
+    }
+    mspdsm::bench::writeJson(f, rs,
+                             {{"events_per_sec", events},
+                              {"lookups_per_sec", lookups}});
+    std::cout << "wrote " << out << " (events_per_sec " << events
+              << ", lookups_per_sec " << lookups << ")\n";
+    return 0;
+}

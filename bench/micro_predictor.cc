@@ -1,93 +1,29 @@
 /**
  * @file
- * google-benchmark microbenchmarks of predictor observe() throughput:
- * the operation a DSM home performs on every incoming message, so its
- * cost bounds the directory occupancy a hardware table must beat.
+ * Microbenchmarks of predictor observe() throughput: the operation a
+ * DSM home performs on every incoming message, so its cost bounds the
+ * directory occupancy a hardware table must beat.
+ *
+ * Usage: micro_predictor [--smoke]
  */
 
-#include <benchmark/benchmark.h>
+#include <cstring>
+#include <iostream>
 
-#include "base/random.hh"
-#include "pred/seq_predictor.hh"
-#include "pred/vmsp.hh"
+#include "micro_suites.hh"
 
-using namespace mspdsm;
-
-namespace
+int
+main(int argc, char **argv)
 {
+    mspdsm::bench::BenchOptions opts;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            opts.minSeconds = 0.05;
 
-/** Pre-generated stable producer/consumer message stream. */
-std::vector<std::pair<BlockId, PredMsg>>
-makeStream(std::size_t blocks, int rounds)
-{
-    std::vector<std::pair<BlockId, PredMsg>> stream;
-    for (int i = 0; i < rounds; ++i) {
-        for (BlockId b = 0; b < blocks; ++b) {
-            stream.push_back({b, PredMsg{SymKind::Write, 0}});
-            stream.push_back({b, PredMsg{SymKind::Read, 1}});
-            stream.push_back({b, PredMsg{SymKind::Read, 2}});
-        }
-    }
-    return stream;
+    const auto rs = mspdsm::bench::runPredictorSuite(opts);
+    mspdsm::bench::printResults(std::cout, rs);
+    std::cout << "lookups_per_sec: "
+              << mspdsm::bench::itemsPerSec(rs, "pred/observe_mix")
+              << "\n";
+    return 0;
 }
-
-template <typename P>
-void
-benchObserve(benchmark::State &state)
-{
-    const auto stream =
-        makeStream(static_cast<std::size_t>(state.range(0)), 4);
-    P pred(static_cast<std::size_t>(state.range(1)), 16);
-    std::size_t i = 0;
-    for (auto _ : state) {
-        const auto &[blk, msg] = stream[i];
-        benchmark::DoNotOptimize(pred.observe(blk, msg));
-        if (++i == stream.size())
-            i = 0;
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()));
-}
-
-void
-cosmosObserve(benchmark::State &state)
-{
-    benchObserve<Cosmos>(state);
-}
-
-void
-mspObserve(benchmark::State &state)
-{
-    benchObserve<Msp>(state);
-}
-
-void
-vmspObserve(benchmark::State &state)
-{
-    benchObserve<Vmsp>(state);
-}
-
-void
-vmspSpecQuery(benchmark::State &state)
-{
-    // The speculation fast path: predictedReaders + predictionKey.
-    Vmsp v(1, 16);
-    for (int i = 0; i < 8; ++i) {
-        v.observe(7, PredMsg{SymKind::Write, 0});
-        v.observe(7, PredMsg{SymKind::Read, 1});
-        v.observe(7, PredMsg{SymKind::Read, 2});
-    }
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(v.predictedReaders(7));
-        benchmark::DoNotOptimize(v.predictionKey(7));
-    }
-}
-
-} // namespace
-
-BENCHMARK(cosmosObserve)->Args({64, 1})->Args({4096, 1})->Args({64, 4});
-BENCHMARK(mspObserve)->Args({64, 1})->Args({4096, 1})->Args({64, 4});
-BENCHMARK(vmspObserve)->Args({64, 1})->Args({4096, 1})->Args({64, 4});
-BENCHMARK(vmspSpecQuery);
-
-BENCHMARK_MAIN();

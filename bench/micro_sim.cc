@@ -1,80 +1,29 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the simulator substrate: event
- * queue throughput and end-to-end simulated-messages-per-second on a
- * small workload, to size how large an experiment the harness can
- * sustain.
+ * Microbenchmarks of the simulator substrate: event-queue throughput
+ * and end-to-end simulated-messages-per-second on a small workload, to
+ * size how large an experiment the harness can sustain.
+ *
+ * Usage: micro_sim [--smoke]
  */
 
-#include <benchmark/benchmark.h>
+#include <cstring>
+#include <iostream>
 
-#include "dsm/system.hh"
-#include "sim/eventq.hh"
-#include "workload/suite.hh"
+#include "micro_suites.hh"
 
-using namespace mspdsm;
-
-namespace
+int
+main(int argc, char **argv)
 {
+    mspdsm::bench::BenchOptions opts;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            opts.minSeconds = 0.05;
 
-void
-eventQueueThroughput(benchmark::State &state)
-{
-    for (auto _ : state) {
-        EventQueue eq;
-        std::uint64_t fired = 0;
-        for (int i = 0; i < 1000; ++i)
-            eq.schedule(static_cast<Tick>(i), [&fired] { ++fired; });
-        eq.run();
-        benchmark::DoNotOptimize(fired);
-    }
-    state.SetItemsProcessed(state.iterations() * 1000);
+    const auto rs = mspdsm::bench::runSimSuite(opts);
+    mspdsm::bench::printResults(std::cout, rs);
+    std::cout << "events_per_sec: "
+              << mspdsm::bench::itemsPerSec(rs, "eventq/throughput")
+              << "\n";
+    return 0;
 }
-
-void
-simulatedMessagesPerSecond(benchmark::State &state)
-{
-    AppParams p;
-    p.scale = 0.25;
-    p.iterations = 2;
-    const Workload w = makeEm3d(p);
-    std::uint64_t messages = 0;
-    for (auto _ : state) {
-        DsmConfig cfg;
-        cfg.proto.netJitter = w.netJitter;
-        DsmSystem sys(cfg);
-        const RunResult r = sys.run(w.traces);
-        messages += r.messages;
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(messages));
-}
-
-void
-speculativeRunOverhead(benchmark::State &state)
-{
-    // Host-time cost of speculation machinery relative to base runs.
-    AppParams p;
-    p.scale = 0.25;
-    p.iterations = 2;
-    const Workload w = makeEm3d(p);
-    for (auto _ : state) {
-        DsmConfig cfg;
-        cfg.proto.netJitter = w.netJitter;
-        cfg.pred = PredKind::Vmsp;
-        cfg.spec = state.range(0) ? SpecMode::SwiFirstRead
-                                  : SpecMode::None;
-        DsmSystem sys(cfg);
-        benchmark::DoNotOptimize(sys.run(w.traces).execTicks);
-    }
-}
-
-} // namespace
-
-BENCHMARK(eventQueueThroughput);
-BENCHMARK(simulatedMessagesPerSecond)->Unit(benchmark::kMillisecond);
-BENCHMARK(speculativeRunOverhead)
-    ->Arg(0)
-    ->Arg(1)
-    ->Unit(benchmark::kMillisecond);
-
-BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The two microbenchmark suites that track the simulator's hot path:
+ *
+ *  - the sim suite measures the discrete-event kernel (schedule/fire
+ *    throughput, steady-state self-scheduling, and end-to-end
+ *    simulated messages per second on a small workload);
+ *  - the predictor suite measures pattern-table observe()/lookup
+ *    throughput, the operation a DSM home performs on every incoming
+ *    message.
+ *
+ * Both suites are consumed by the standalone micro_sim /
+ * micro_predictor binaries and by bench_core, which runs everything
+ * and writes BENCH_core.json. Headline metrics:
+ *
+ *   events_per_sec  = "eventq/throughput" items/sec
+ *   lookups_per_sec = "pred/observe_mix" items/sec
+ */
+
+#ifndef MSPDSM_BENCH_MICRO_SUITES_HH
+#define MSPDSM_BENCH_MICRO_SUITES_HH
+
+#include <vector>
+
+#include "bench_common.hh"
+
+namespace mspdsm::bench
+{
+
+/** Event-kernel and whole-system benches. */
+std::vector<BenchResult> runSimSuite(const BenchOptions &opts);
+
+/** Predictor-table benches. */
+std::vector<BenchResult> runPredictorSuite(const BenchOptions &opts);
+
+/** Pull a named result's items/sec (0 if absent). */
+double itemsPerSec(const std::vector<BenchResult> &rs,
+                   const std::string &name);
+
+} // namespace mspdsm::bench
+
+#endif // MSPDSM_BENCH_MICRO_SUITES_HH

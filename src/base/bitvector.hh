@@ -43,6 +43,15 @@ class NodeSet
         return s;
     }
 
+    /** Rebuild from a raw mask (inverse of raw()). */
+    static NodeSet
+    fromRaw(std::uint64_t bits)
+    {
+        NodeSet s;
+        s.bits_ = bits;
+        return s;
+    }
+
     /** Add a node to the set. */
     void
     add(NodeId n)

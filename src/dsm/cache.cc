@@ -29,7 +29,18 @@ CacheCtrl::completeHit(Line &l, Done done)
     const Tick lat = l.inProcCache ? cfg_.cacheHit : cfg_.memAccess;
     l.inProcCache = true;
     l.referenced = true;
-    eq_.scheduleAfter(lat, [done = std::move(done)] { done(false); });
+    panic_if(hitEvent_.scheduled(),
+             "cache ", id_, ": overlapping hit completions");
+    hitDone_ = std::move(done);
+    eq_.scheduleAfter(lat, hitEvent_);
+}
+
+void
+CacheCtrl::hitDone()
+{
+    Done done = std::move(hitDone_);
+    hitDone_ = nullptr;
+    done(false);
 }
 
 void

@@ -16,8 +16,8 @@
 #define MSPDSM_DSM_CACHE_HH
 
 #include <functional>
-#include <unordered_map>
 
+#include "base/flat_map.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "net/network.hh"
@@ -104,10 +104,27 @@ class CacheCtrl
         Done done;
     };
 
+    /**
+     * Completion timer for node-local hits. The processor is blocking
+     * and in-order, so at most one hit completion is pending at a
+     * time: one pre-allocated event per cache suffices.
+     */
+    struct HitEvent final : public Event
+    {
+        explicit HitEvent(CacheCtrl *c) : cache(c) {}
+
+        void process() override { cache->hitDone(); }
+
+        CacheCtrl *cache;
+    };
+
     Line &line(BlockId blk) { return lines_[blk]; }
 
     /** Complete a node-local hit with the given latency. */
     void completeHit(Line &l, Done done);
+
+    /** HitEvent fired: deliver the stored completion. */
+    void hitDone();
 
     /** Issue a request message to the block's home. */
     void sendRequest(MsgType t, BlockId blk, const Line &l);
@@ -116,8 +133,10 @@ class CacheCtrl
     EventQueue &eq_;
     Network &net_;
     const ProtoConfig &cfg_;
-    std::unordered_map<BlockId, Line> lines_;
+    FlatMap<BlockId, Line> lines_;
     Mshr mshr_;
+    HitEvent hitEvent_{this};
+    Done hitDone_;
     CacheStats stats_;
 };
 

@@ -87,7 +87,77 @@ Directory::specObserve(BlockId blk, SymKind kind, NodeId src)
 void
 Directory::sendAfter(Tick delay, CohMsg msg)
 {
-    eq_.scheduleAfter(delay, [this, msg] { net_.send(msg); });
+    DirEvent &e = pool_.acquire(this);
+    e.kind = DirEvent::Kind::Send;
+    e.msg = msg;
+    eq_.scheduleAfter(delay, e);
+}
+
+void
+Directory::eventFired(DirEvent &e)
+{
+    // Copy out and recycle first: the handlers below schedule new
+    // events and may reuse this slot.
+    const DirEvent::Kind kind = e.kind;
+    const CohMsg msg = e.msg;
+    pool_.release(e);
+
+    switch (kind) {
+      case DirEvent::Kind::Send:
+        net_.send(msg);
+        return;
+      case DirEvent::Kind::ReadReply:
+        readReplyFired(msg.blk, msg.dst);
+        return;
+      case DirEvent::Kind::Grant:
+        grantExcl(entry(msg.blk), msg.blk);
+        return;
+      case DirEvent::Kind::WbGetS:
+        wbGetSFired(msg.blk);
+        return;
+      case DirEvent::Kind::SwiComplete: {
+        const BlockId blk = msg.blk;
+        completeSwi(entry(blk), blk);
+        drain(blk);
+        return;
+      }
+    }
+    panic("unknown DirEvent kind");
+}
+
+void
+Directory::readReplyFired(BlockId blk, NodeId reader)
+{
+    Entry &e = entry(blk);
+    --e.repliesInFlight;
+    CohMsg reply;
+    reply.type = MsgType::DataShared;
+    reply.src = id_;
+    reply.dst = reader;
+    reply.blk = blk;
+    reply.remoteWork = reader != id_;
+    net_.send(reply);
+    if (specEnabled())
+        frCheck(e, blk, reader);
+    drain(blk);
+}
+
+void
+Directory::wbGetSFired(BlockId blk)
+{
+    Entry &e = entry(blk);
+    e.state = DirState::Shared;
+    e.sharers.add(e.curReq);
+    CohMsg reply;
+    reply.type = MsgType::DataShared;
+    reply.src = id_;
+    reply.dst = e.curReq;
+    reply.blk = blk;
+    reply.remoteWork = true;
+    net_.send(reply);
+    if (specEnabled())
+        frCheck(e, blk, e.curReq);
+    drain(blk);
 }
 
 void
@@ -174,21 +244,10 @@ Directory::onGetS(Entry &e, const CohMsg &msg)
         e.state = DirState::Shared;
         e.sharers.add(src);
         ++e.repliesInFlight;
-        eq_.scheduleAfter(cfg_.dirLookup + cfg_.memAccess,
-                          [this, blk, src] {
-            Entry &e2 = entry(blk);
-            --e2.repliesInFlight;
-            CohMsg reply;
-            reply.type = MsgType::DataShared;
-            reply.src = id_;
-            reply.dst = src;
-            reply.blk = blk;
-            reply.remoteWork = src != id_;
-            net_.send(reply);
-            if (specEnabled())
-                frCheck(e2, blk, src);
-            drain(blk);
-        });
+        DirEvent &ev = scheduleKind(DirEvent::Kind::ReadReply,
+                                    cfg_.dirLookup + cfg_.memAccess);
+        ev.msg.blk = blk;
+        ev.msg.dst = src;
         return;
       }
       case DirState::Excl: {
@@ -228,8 +287,9 @@ Directory::onWrite(Entry &e, const CohMsg &msg, bool upgrade_grant)
         e.curReq = src;
         e.curUpgradeGrant = false;
         e.curRemote = src != id_;
-        eq_.scheduleAfter(cfg_.dirLookup + cfg_.memAccess,
-                          [this, blk] { grantExcl(entry(blk), blk); });
+        scheduleKind(DirEvent::Kind::Grant,
+                     cfg_.dirLookup + cfg_.memAccess)
+            .msg.blk = blk;
         return;
       }
       case DirState::Shared: {
@@ -246,9 +306,7 @@ Directory::onWrite(Entry &e, const CohMsg &msg, bool upgrade_grant)
             e.state = DirState::BusyService;
             const Tick delay = cfg_.dirLookup +
                                (upgrade_grant ? 0 : cfg_.memAccess);
-            eq_.scheduleAfter(delay, [this, blk] {
-                grantExcl(entry(blk), blk);
-            });
+            scheduleKind(DirEvent::Kind::Grant, delay).msg.blk = blk;
             return;
         }
         e.state = DirState::BusyInval;
@@ -295,10 +353,9 @@ Directory::onInvAck(Entry &e, const CohMsg &msg)
         verifyCopy(e, msg.blk, msg);
     panic_if(e.pendingAcks <= 0, "stray InvAck: ", msg.toString());
     if (--e.pendingAcks == 0) {
-        const BlockId blk = msg.blk;
         e.state = DirState::BusyService;
-        eq_.scheduleAfter(cfg_.dirLookup,
-                          [this, blk] { grantExcl(entry(blk), blk); });
+        scheduleKind(DirEvent::Kind::Grant, cfg_.dirLookup).msg.blk =
+            msg.blk;
     }
 }
 
@@ -312,36 +369,21 @@ Directory::onWriteBack(Entry &e, const CohMsg &msg)
     e.state = DirState::BusyService;
 
     if (e.curIsSwi) {
-        eq_.scheduleAfter(cfg_.memAccess, [this, blk] {
-            Entry &e2 = entry(blk);
-            completeSwi(e2, blk);
-            drain(blk);
-        });
+        scheduleKind(DirEvent::Kind::SwiComplete, cfg_.memAccess)
+            .msg.blk = blk;
         return;
     }
 
     if (e.curType == MsgType::GetS) {
-        eq_.scheduleAfter(cfg_.memAccess + cfg_.dirLookup,
-                          [this, blk] {
-            Entry &e2 = entry(blk);
-            e2.state = DirState::Shared;
-            e2.sharers.add(e2.curReq);
-            CohMsg reply;
-            reply.type = MsgType::DataShared;
-            reply.src = id_;
-            reply.dst = e2.curReq;
-            reply.blk = blk;
-            reply.remoteWork = true;
-            net_.send(reply);
-            if (specEnabled())
-                frCheck(e2, blk, e2.curReq);
-            drain(blk);
-        });
+        scheduleKind(DirEvent::Kind::WbGetS,
+                     cfg_.memAccess + cfg_.dirLookup)
+            .msg.blk = blk;
         return;
     }
 
-    eq_.scheduleAfter(cfg_.memAccess + cfg_.dirLookup,
-                      [this, blk] { grantExcl(entry(blk), blk); });
+    scheduleKind(DirEvent::Kind::Grant,
+                 cfg_.memAccess + cfg_.dirLookup)
+        .msg.blk = blk;
 }
 
 void

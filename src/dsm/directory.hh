@@ -27,9 +27,9 @@
 #define MSPDSM_DSM_DIRECTORY_HH
 
 #include <deque>
-#include <unordered_map>
 
 #include "base/bitvector.hh"
+#include "base/flat_map.hh"
 #include "base/types.hh"
 #include "net/network.hh"
 #include "pred/predictor.hh"
@@ -151,6 +151,52 @@ class Directory
         unsigned swiPrematureCount = 0; //!< escalates the backoff
     };
 
+    /**
+     * One pending directory action, pooled and reused so the protocol
+     * FSM schedules without allocating. The embedded CohMsg carries
+     * either the full message (Send) or just the block/requester
+     * fields the other kinds need.
+     */
+    struct DirEvent final : public Event
+    {
+        enum class Kind : std::uint8_t
+        {
+            Send,        //!< hand msg to the network
+            ReadReply,   //!< GetS service done: reply to msg.dst
+            Grant,       //!< write transaction done: grant exclusive
+            WbGetS,      //!< writeback absorbed for a pending GetS
+            SwiComplete, //!< SWI writeback absorbed
+        };
+
+        explicit DirEvent(Directory *d) : dir(d) {}
+
+        void process() override { dir->eventFired(*this); }
+
+        Directory *dir;
+        Kind kind = Kind::Send;
+        CohMsg msg;
+    };
+
+    /** Dispatch a fired DirEvent and recycle it. */
+    void eventFired(DirEvent &e);
+
+    /** Schedule a pooled event of @p kind after @p delay cycles. */
+    DirEvent &
+    scheduleKind(DirEvent::Kind kind, Tick delay)
+    {
+        DirEvent &e = pool_.acquire(this);
+        e.kind = kind;
+        e.msg = CohMsg{};
+        eq_.scheduleAfter(delay, e);
+        return e;
+    }
+
+    /** GetS service finished: send the data, trigger speculation. */
+    void readReplyFired(BlockId blk, NodeId reader);
+
+    /** Writeback for a demand GetS absorbed: share to the requester. */
+    void wbGetSFired(BlockId blk);
+
     Entry &entry(BlockId blk) { return entries_[blk]; }
 
     static bool
@@ -250,7 +296,8 @@ class Directory
     Vmsp *vmsp_;
     SpecMode mode_;
     SwiTable swiTable_;
-    std::unordered_map<BlockId, Entry> entries_;
+    EventPool<DirEvent> pool_;
+    FlatMap<BlockId, Entry> entries_;
     DirStats stats_;
     SpecStats specStats_;
 };

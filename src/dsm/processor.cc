@@ -6,18 +6,17 @@ namespace mspdsm
 {
 
 void
-GlobalBarrier::arrive(std::function<void()> resume)
+GlobalBarrier::arrive(Event &resume)
 {
-    waiting_.push_back(std::move(resume));
+    waiting_.push_back(&resume);
     if (waiting_.size() < parties_)
         return;
     ++episodes_;
-    std::vector<std::function<void()>> ready;
-    ready.swap(waiting_);
-    eq_.scheduleAfter(cost_, [ready = std::move(ready)] {
-        for (const auto &fn : ready)
-            fn();
-    });
+    // Scheduling in arrival order at the same tick preserves the
+    // resume order (same-tick ties break by schedule order).
+    for (Event *e : waiting_)
+        eq_.scheduleAfter(cost_, *e);
+    waiting_.clear();
 }
 
 void
@@ -35,7 +34,7 @@ Processor::step()
 
     switch (op.kind) {
       case OpKind::Compute:
-        eq_.scheduleAfter(op.cycles, [this] { step(); });
+        eq_.scheduleAfter(op.cycles, stepEvent_);
         return;
       case OpKind::Read:
       case OpKind::Write: {
@@ -51,7 +50,7 @@ Processor::step()
         return;
       }
       case OpKind::Barrier:
-        barrier_.arrive([this] { step(); });
+        barrier_.arrive(stepEvent_);
         return;
     }
     panic("unknown trace op kind");

@@ -29,16 +29,22 @@ namespace mspdsm
  * wait time to computation (Figure 9's "comp" includes barrier
  * synchronization and lock spinning), which falls out naturally here
  * because barrier waiting is not remote request waiting.
+ *
+ * Waiters park their own resume Event; on release every waiter is
+ * scheduled `cost` ticks out in arrival order, which preserves the
+ * resume ordering the previous callback-based release produced.
  */
 class GlobalBarrier
 {
   public:
     GlobalBarrier(EventQueue &eq, unsigned parties, Tick cost)
         : eq_(eq), parties_(parties), cost_(cost)
-    {}
+    {
+        waiting_.reserve(parties);
+    }
 
     /** Arrive; @p resume fires when all parties have arrived. */
-    void arrive(std::function<void()> resume);
+    void arrive(Event &resume);
 
     /** Number of completed barrier episodes. */
     std::uint64_t episodes() const { return episodes_; }
@@ -47,7 +53,7 @@ class GlobalBarrier
     EventQueue &eq_;
     unsigned parties_;
     Tick cost_;
-    std::vector<std::function<void()>> waiting_;
+    std::vector<Event *> waiting_;
     std::uint64_t episodes_ = 0;
 };
 
@@ -62,13 +68,18 @@ struct ProcStats
 
 /**
  * A blocking, in-order, trace-driven processor.
+ *
+ * The processor owns a single StepEvent: a blocking in-order core has
+ * at most one pending continuation (compute-delay expiry or barrier
+ * resume), so every reschedule reuses the same pre-allocated object.
  */
 class Processor
 {
   public:
     Processor(NodeId id, EventQueue &eq, CacheCtrl &cache,
               GlobalBarrier &barrier)
-        : id_(id), eq_(eq), cache_(cache), barrier_(barrier)
+        : id_(id), eq_(eq), cache_(cache), barrier_(barrier),
+          stepEvent_(this)
     {}
 
     /** Begin executing @p trace at the current tick. */
@@ -78,7 +89,7 @@ class Processor
         trace_ = trace;
         pc_ = 0;
         done_ = false;
-        eq_.scheduleAfter(0, [this] { step(); });
+        eq_.scheduleAfter(0, stepEvent_);
     }
 
     /** True when the trace has been fully executed. */
@@ -91,12 +102,22 @@ class Processor
     NodeId id() const { return id_; }
 
   private:
+    struct StepEvent final : public Event
+    {
+        explicit StepEvent(Processor *p) : proc(p) {}
+
+        void process() override { proc->step(); }
+
+        Processor *proc;
+    };
+
     void step();
 
     NodeId id_;
     EventQueue &eq_;
     CacheCtrl &cache_;
     GlobalBarrier &barrier_;
+    StepEvent stepEvent_;
     const Trace *trace_ = nullptr;
     std::size_t pc_ = 0;
     bool done_ = false;

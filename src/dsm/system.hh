@@ -74,9 +74,22 @@ struct ObserverResult
     StorageReport storage;
 };
 
+/** How a simulation run ended. */
+enum class RunStatus : std::uint8_t
+{
+    Completed, //!< queue drained, every processor finished its trace
+    TickLimit, //!< DsmConfig::tickLimit hit with events still pending
+               //!< (livelock/deadlock guard) -- results are partial
+};
+
 /** Aggregated results of one simulation run. */
 struct RunResult
 {
+    RunStatus status = RunStatus::Completed;
+
+    /** Convenience: the run finished cleanly. */
+    bool completed() const { return status == RunStatus::Completed; }
+
     Tick execTicks = 0;          //!< wall-clock of the run
     double avgRequestWait = 0.0; //!< mean per-proc remote wait, ticks
     double avgMemWait = 0.0;     //!< mean per-proc total memory stall

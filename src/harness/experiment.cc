@@ -1,10 +1,29 @@
 #include "harness/experiment.hh"
 
+#include <iostream>
+
 namespace mspdsm
 {
 
 namespace
 {
+
+/**
+ * Surface a tripped deadlock guard: sweep binaries keep running the
+ * remaining configurations, but a run whose statistics are a partial
+ * snapshot must never be published silently.
+ */
+RunResult
+checkedRun(DsmSystem &sys, const Workload &w, const std::string &app)
+{
+    RunResult r = sys.run(w.traces);
+    if (!r.completed()) {
+        std::cerr << "WARNING: " << app
+                  << " hit the tick limit (deadlock guard); "
+                     "results below are partial\n";
+    }
+    return r;
+}
 
 AppParams
 toAppParams(const ExperimentConfig &ec)
@@ -47,7 +66,7 @@ runAccuracy(const std::string &app, std::size_t depth,
                      {PredKind::Msp, depth},
                      {PredKind::Vmsp, depth}};
     DsmSystem sys(cfg);
-    return sys.run(w.traces);
+    return checkedRun(sys, w, app);
 }
 
 RunResult
@@ -60,7 +79,7 @@ runSpec(const std::string &app, SpecMode mode,
     cfg.historyDepth = 1;
     cfg.spec = mode;
     DsmSystem sys(cfg);
-    return sys.run(w.traces);
+    return checkedRun(sys, w, app);
 }
 
 } // namespace mspdsm

@@ -37,8 +37,10 @@ Network::send(CohMsg msg)
     if (msg.src == msg.dst) {
         // Local traffic (processor to its own home directory and
         // back) crosses only the node's bus.
-        eq_.schedule(now + 1,
-                     [this, msg] { handlers_[msg.dst](msg); });
+        NetEvent &e = pool_.acquire(this);
+        e.msg = msg;
+        e.arrived = true; // straight to delivery
+        eq_.schedule(now + 1, e);
         return;
     }
 
@@ -69,14 +71,33 @@ Network::send(CohMsg msg)
     // that messages contend in arrival order. Reserving at send time
     // would force delivery in injection order and suppress exactly
     // the message re-ordering the predictors are sensitive to.
-    eq_.schedule(arrival, [this, msg, occ] {
+    NetEvent &e = pool_.acquire(this);
+    e.msg = msg;
+    e.occ = occ;
+    e.arrived = false;
+    eq_.schedule(arrival, e);
+}
+
+void
+Network::fired(NetEvent &e)
+{
+    if (!e.arrived) {
+        // Arrival at the destination's ingress NI: contend for it,
+        // then ride the same event to the delivery tick.
+        e.arrived = true;
         const Tick arr = eq_.curTick();
-        const Tick start = std::max(arr, ingressFree_[msg.dst]);
+        const Tick start = std::max(arr, ingressFree_[e.msg.dst]);
         queued_.inc(start - arr);
-        const Tick delivered = start + occ;
-        ingressFree_[msg.dst] = delivered;
-        eq_.schedule(delivered, [this, msg] { handlers_[msg.dst](msg); });
-    });
+        const Tick delivered = start + e.occ;
+        ingressFree_[e.msg.dst] = delivered;
+        eq_.schedule(delivered, e);
+        return;
+    }
+    // Delivery. Copy the message and release the event first: the
+    // handler may send again and reuse this very slot.
+    const CohMsg msg = e.msg;
+    pool_.release(e);
+    handlers_[msg.dst](msg);
 }
 
 } // namespace mspdsm

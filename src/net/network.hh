@@ -33,6 +33,11 @@ namespace mspdsm
 /**
  * The interconnect. Owns no protocol state; it only moves CohMsg
  * values between nodes with appropriate delays.
+ *
+ * Message motion is event-driven through a pool of pre-allocated
+ * NetEvents (one per in-flight message, reused), so the per-message
+ * fast path performs no allocation: the same event object carries the
+ * message through its ingress-arrival and delivery stages.
  */
 class Network
 {
@@ -63,6 +68,22 @@ class Network
     std::uint64_t queueingCycles() const { return queued_.value(); }
 
   private:
+    /** One in-flight message: arrival at the ingress NI, delivery. */
+    struct NetEvent final : public Event
+    {
+        explicit NetEvent(Network *n) : net(n) {}
+
+        void process() override { net->fired(*this); }
+
+        Network *net;
+        CohMsg msg;
+        Tick occ = 0;        //!< ingress NI occupancy of this message
+        bool arrived = false; //!< past the ingress-arrival stage
+    };
+
+    /** Stage dispatch for a pooled NetEvent. */
+    void fired(NetEvent &e);
+
     EventQueue &eq_;
     const ProtoConfig &cfg_;
     Rng rng_;
@@ -70,6 +91,7 @@ class Network
     std::vector<Tick> egressFree_; //!< next free tick per source NI
     std::vector<Tick> ingressFree_; //!< next free tick per dest NI
     std::vector<Tick> pairLast_; //!< last arrival per (src,dst) pair
+    EventPool<NetEvent> pool_;
     Counter sent_;
     Counter queued_;
 };

@@ -17,14 +17,20 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "base/flat_map.hh"
 #include "base/logging.hh"
 #include "pred/symbol.hh"
 
 namespace mspdsm
 {
 
-/** Maximum supported history depth (the paper evaluates 1, 2, 4). */
-constexpr std::size_t maxHistoryDepth = 8;
+/**
+ * Maximum supported history depth. The paper evaluates 1, 2 and 4;
+ * keeping the bound tight matters because HistoryKey is sized by it
+ * and the predictors store three keys per block record on the hot
+ * path (current, plus two inline pattern entries).
+ */
+constexpr std::size_t maxHistoryDepth = 4;
 
 /**
  * Packed, hashable history: the encoded symbols newest-last, padded
@@ -43,25 +49,35 @@ struct HistoryKey
     bool
     operator==(const HistoryKey &o) const
     {
-        return used == o.used && slots == o.slots;
+        // Compare only the occupied prefix: depth is 1-4 in practice,
+        // so this beats a full 64-byte array compare. Unused slots
+        // hold the sentinel on both sides and cannot disagree.
+        if (used != o.used)
+            return false;
+        for (std::uint8_t i = 0; i < used; ++i)
+            if (slots[i] != o.slots[i])
+                return false;
+        return true;
     }
 };
 
-/** FNV-1a style mixing hash over the occupied slots. */
+/**
+ * Avalanche-mix chain over the occupied slots: the pattern tables
+ * index an open-addressing FlatMap with a power-of-two mask, so every
+ * key bit must reach the low index bits. The length is folded into
+ * the seed so prefixes don't collide, and the common depth-1 key
+ * costs a single mix.
+ */
 struct HistoryKeyHash
 {
     std::size_t
     operator()(const HistoryKey &k) const
     {
-        std::uint64_t h = 0xcbf29ce484222325ULL;
-        for (std::uint8_t i = 0; i < k.used; ++i) {
-            h ^= k.slots[i];
-            h *= 0x100000001b3ULL;
-            h ^= h >> 29;
-        }
-        h ^= k.used;
-        h *= 0x100000001b3ULL;
-        return static_cast<std::size_t>(h ^ (h >> 32));
+        std::uint64_t h =
+            0x9e3779b97f4a7c15ULL ^ (std::uint64_t{k.used} << 56);
+        for (std::uint8_t i = 0; i < k.used; ++i)
+            h = mix64(h ^ k.slots[i]);
+        return static_cast<std::size_t>(h);
     }
 };
 

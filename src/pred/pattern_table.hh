@@ -7,14 +7,31 @@
  * full (depth symbols seen), matching the PAp discipline the paper
  * inherits: a deeper history therefore takes longer to learn, which is
  * exactly the learning-speed effect discussed in Section 7.2.
+ *
+ * Hot-path layout, mirroring how a hardware table would be built:
+ *  - the history register IS the cached HistoryKey (symbols are kept
+ *    in their injective 64-bit encoded form; nothing else is stored);
+ *    the key shifts in place and its hash is recomputed once per push
+ *    (depth <= 4, so a full rehash is a handful of mixes);
+ *  - predictions are stored and compared encoded, so a "does the
+ *    observed message match" check is a single integer compare;
+ *  - observeLearn() fuses the prediction read with the learn update
+ *    (both address the same entry), one table access per message;
+ *  - the first few pattern-table entries live inline in the block
+ *    record itself -- a stable producer/consumer block at depth 1
+ *    needs two at VMSP (the vector after the write, the write after
+ *    the vector) and reader-degree+1 at MSP/Cosmos -- so the common
+ *    block never allocates and its lookup stays within the cache
+ *    lines the block record already occupies. Irregular blocks spill
+ *    into an open-addressing FlatMap.
  */
 
 #ifndef MSPDSM_PRED_PATTERN_TABLE_HH
 #define MSPDSM_PRED_PATTERN_TABLE_HH
 
 #include <optional>
-#include <unordered_map>
 
+#include "base/flat_map.hh"
 #include "pred/history.hh"
 #include "pred/symbol.hh"
 
@@ -22,13 +39,17 @@ namespace mspdsm
 {
 
 /**
- * One pattern-table entry: the predicted successor of a history, plus
- * the Speculative-Write-Invalidation premature bit (Section 4.1).
+ * One pattern-table entry: the predicted successor of a history (in
+ * Symbol::encode() form), plus the Speculative-Write-Invalidation
+ * premature bit (Section 4.1).
  */
 struct PatternEntry
 {
-    Symbol pred;
+    std::uint64_t pred = 0; //!< encoded predicted symbol
     bool premature = false; //!< SWI previously fired too early here
+
+    /** Decoded prediction, for diagnostics and external consumers. */
+    Symbol predSymbol() const { return Symbol::decode(pred); }
 };
 
 /**
@@ -37,54 +58,107 @@ struct PatternEntry
 class BlockPattern
 {
   public:
+    /** Outcome of one fused observe: what stood, what changed. */
+    struct LearnResult
+    {
+        /** An entry (i.e. a prediction) stood for this history. */
+        bool hadPred = false;
+        /** ... and its prediction matched the observed symbol. */
+        bool matched = false;
+        /** A new pattern-table entry was allocated. */
+        bool inserted = false;
+    };
+
     explicit BlockPattern(std::size_t depth)
-        : hist_(depth)
-    {}
+        : depth_(static_cast<std::uint8_t>(depth))
+    {
+        panic_if(depth == 0 || depth > maxHistoryDepth,
+                 "history depth ", depth, " out of range");
+        keyHash_ = HistoryKeyHash{}(key_);
+    }
 
     /** @return true once the history register is full. */
-    bool warm() const { return hist_.size() == hist_.depth(); }
+    bool warm() const { return key_.used == depth_; }
 
     /** Current history key (meaningful only when warm()). */
-    HistoryKey key() const { return hist_.key(); }
+    const HistoryKey &key() const { return key_; }
 
     /** Predicted successor of the current history, if any. */
     std::optional<Symbol>
     lookup() const
     {
+        const PatternEntry *e = peek();
+        if (!e)
+            return std::nullopt;
+        return e->predSymbol();
+    }
+
+    /**
+     * Entry holding the current prediction, or null: the copy-free
+     * fast path for per-message checks.
+     */
+    const PatternEntry *
+    peek() const
+    {
         if (!warm())
-            return std::nullopt;
-        auto it = table_.find(hist_.key());
-        if (it == table_.end())
-            return std::nullopt;
-        return it->second.pred;
+            return nullptr;
+        return findHashed(key_, keyHash_);
+    }
+
+    /**
+     * Check the standing prediction against @p observed, record
+     * @p observed as the successor of the current history (when warm),
+     * and shift it into the history register -- one table access and
+     * one symbol encoding in total.
+     */
+    LearnResult
+    observeLearn(const Symbol &observed)
+    {
+        const std::uint64_t enc = observed.encode();
+        LearnResult r;
+        if (warm()) {
+            PatternEntry *e = findHashed(key_, keyHash_);
+            if (!e) {
+                e = insert(key_, keyHash_);
+                r.inserted = true;
+                e->pred = enc;
+            } else {
+                r.hadPred = true;
+                if (e->pred == enc) {
+                    r.matched = true;
+                } else {
+                    // The premature bit belongs to the entry's
+                    // predicted *write*: it survives as long as the
+                    // same processor is still the predicted writer (a
+                    // producer robbed by SWI re-acquires with GetX
+                    // instead of Upgrade, which must not launder the
+                    // bit), and is invalidated by any other
+                    // replacement.
+                    const bool same_writer =
+                        isWriteKind(Symbol::encodedKind(e->pred)) &&
+                        isWriteKind(Symbol::encodedKind(enc)) &&
+                        Symbol::encodedPayload(e->pred) ==
+                            Symbol::encodedPayload(enc);
+                    e->pred = enc;
+                    if (!same_writer)
+                        e->premature = false;
+                }
+            }
+        }
+        pushAndRefresh(enc);
+        return r;
     }
 
     /**
      * Record @p observed as the successor of the current history
      * (when warm) and shift it into the history register.
+     * @return true iff a new pattern-table entry was allocated (the
+     *         predictors keep their storage totals incrementally)
      */
-    void
+    bool
     learnAndPush(const Symbol &observed)
     {
-        if (warm()) {
-            PatternEntry &e = table_[hist_.key()];
-            if (!(e.pred == observed)) {
-                // The premature bit belongs to the entry's predicted
-                // *write*: it survives as long as the same processor
-                // is still the predicted writer (a producer robbed by
-                // SWI re-acquires with GetX instead of Upgrade, which
-                // must not launder the bit), and is invalidated by
-                // any other replacement.
-                const bool same_writer =
-                    isWriteKind(e.pred.kind) &&
-                    isWriteKind(observed.kind) &&
-                    e.pred.pid == observed.pid;
-                e.pred = observed;
-                if (!same_writer)
-                    e.premature = false;
-            }
-        }
-        hist_.push(observed);
+        return observeLearn(observed).inserted;
     }
 
     /** @return true for Write/Upgrade symbols. */
@@ -95,33 +169,125 @@ class BlockPattern
     }
 
     /** Number of pattern-table entries for this block. */
-    std::size_t entries() const { return table_.size(); }
+    std::size_t
+    entries() const
+    {
+        return inlineCount_ + spill_.size();
+    }
 
     /** Find an entry by explicit key (speculation bookkeeping). */
     PatternEntry *
     find(const HistoryKey &k)
     {
-        auto it = table_.find(k);
-        return it == table_.end() ? nullptr : &it->second;
+        return findHashed(k, HistoryKeyHash{}(k));
     }
 
     /** Const overload of find(). */
     const PatternEntry *
     find(const HistoryKey &k) const
     {
-        auto it = table_.find(k);
-        return it == table_.end() ? nullptr : &it->second;
+        return findHashed(k, HistoryKeyHash{}(k));
     }
 
-    /** Erase an entry (misspeculation removal), no-op if absent. */
-    void erase(const HistoryKey &k) { table_.erase(k); }
+    /**
+     * Erase an entry (misspeculation removal), no-op if absent.
+     * @return true iff an entry was removed
+     */
+    bool
+    erase(const HistoryKey &k)
+    {
+        const std::size_t h = HistoryKeyHash{}(k);
+        for (unsigned i = 0; i < inlineCount_; ++i) {
+            if (inlineHash_[i] == static_cast<std::uint32_t>(h) &&
+                inlineKey_[i] == k) {
+                // Entries are unordered; fill the hole from the back.
+                const unsigned last = inlineCount_ - 1;
+                if (i != last) {
+                    inlineHash_[i] = inlineHash_[last];
+                    inlineKey_[i] = inlineKey_[last];
+                    inlineVal_[i] = inlineVal_[last];
+                }
+                --inlineCount_;
+                return true;
+            }
+        }
+        return spill_.erase(k) != 0;
+    }
 
-    /** The underlying history register (diagnostics). */
-    const History &history() const { return hist_; }
+    /** Configured history depth. */
+    std::size_t depth() const { return depth_; }
 
   private:
-    History hist_;
-    std::unordered_map<HistoryKey, PatternEntry, HistoryKeyHash> table_;
+    /**
+     * Inline entries cover the regular sharing patterns without any
+     * allocation: a stable producer/consumer block needs 2 at VMSP
+     * (vector, write) and degree+1 at MSP/Cosmos, so 4 keeps
+     * low-degree blocks entirely inside the block record.
+     */
+    static constexpr unsigned inlineN = 4;
+
+    PatternEntry *
+    findHashed(const HistoryKey &k, std::size_t h)
+    {
+        return const_cast<PatternEntry *>(
+            static_cast<const BlockPattern *>(this)->findHashed(k, h));
+    }
+
+    const PatternEntry *
+    findHashed(const HistoryKey &k, std::size_t h) const
+    {
+        const auto h32 = static_cast<std::uint32_t>(h);
+        for (unsigned i = 0; i < inlineCount_; ++i)
+            if (inlineHash_[i] == h32 && inlineKey_[i] == k)
+                return &inlineVal_[i];
+        if (!spill_.empty()) {
+            auto it = spill_.findHashed(k, h);
+            if (it != spill_.end())
+                return &it->second;
+        }
+        return nullptr;
+    }
+
+    /** Insert a default entry for @p k (known absent). */
+    PatternEntry *
+    insert(const HistoryKey &k, std::size_t h)
+    {
+        if (inlineCount_ < inlineN) {
+            const unsigned i = inlineCount_++;
+            inlineHash_[i] = static_cast<std::uint32_t>(h);
+            inlineKey_[i] = k;
+            inlineVal_[i] = PatternEntry{};
+            return &inlineVal_[i];
+        }
+        return &spill_.tryEmplaceHashed(h, k).first->second;
+    }
+
+    /**
+     * Shift the encoded symbol into the history key in place and
+     * re-hash: the key is the history register.
+     */
+    void
+    pushAndRefresh(std::uint64_t enc)
+    {
+        if (key_.used == depth_) {
+            for (std::uint8_t i = 1; i < depth_; ++i)
+                key_.slots[i - 1] = key_.slots[i];
+            key_.slots[depth_ - 1] = enc;
+        } else {
+            key_.slots[key_.used] = enc;
+            ++key_.used;
+        }
+        keyHash_ = HistoryKeyHash{}(key_);
+    }
+
+    HistoryKey key_;          //!< history register, encoded oldest-first
+    std::size_t keyHash_ = 0; //!< HistoryKeyHash of key_
+    std::uint8_t depth_;      //!< configured history depth
+    std::uint8_t inlineCount_ = 0;
+    std::uint32_t inlineHash_[inlineN] = {};
+    HistoryKey inlineKey_[inlineN];
+    PatternEntry inlineVal_[inlineN];
+    FlatMap<HistoryKey, PatternEntry, HistoryKeyHash> spill_;
 };
 
 } // namespace mspdsm

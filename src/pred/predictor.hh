@@ -94,6 +94,12 @@ class PredictorBase
 
     virtual ~PredictorBase() = default;
 
+    // The concrete predictors memoize interior pointers into their
+    // block tables; copying would leave the copy's memo pointing into
+    // the original.
+    PredictorBase(const PredictorBase &) = delete;
+    PredictorBase &operator=(const PredictorBase &) = delete;
+
     /** Human-readable predictor name ("Cosmos", "MSP", "VMSP"). */
     virtual const char *name() const = 0;
 
@@ -116,18 +122,13 @@ class PredictorBase
     unsigned numProcs() const { return numProcs_; }
 
   protected:
-    /** Record one observation into the stats block. */
+    /** Record one observation into the stats block (branchless). */
     void
     account(const Observation &o)
     {
-        if (!o.inAlphabet)
-            return;
-        stats_.observed.inc();
-        if (o.predicted) {
-            stats_.predicted.inc();
-            if (o.correct)
-                stats_.correct.inc();
-        }
+        stats_.observed.inc(o.inAlphabet);
+        stats_.predicted.inc(o.predicted);
+        stats_.correct.inc(o.correct);
     }
 
     /** Bits to encode a processor id (paper: 4 bits for 16 procs). */

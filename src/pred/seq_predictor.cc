@@ -3,46 +3,21 @@
 namespace mspdsm
 {
 
-Observation
-SeqPredictor::observe(BlockId blk, const PredMsg &msg)
-{
-    Observation obs;
-    if (!inAlphabet(msg.kind))
-        return obs;
-    obs.inAlphabet = true;
-
-    auto [it, fresh] = blocks_.try_emplace(blk, depth_);
-    BlockPattern &bp = it->second;
-    (void)fresh;
-
-    const Symbol sym = Symbol::of(msg.kind, msg.src);
-
-    if (auto pred = bp.lookup()) {
-        obs.predicted = true;
-        obs.correct = (*pred == sym);
-    }
-    bp.learnAndPush(sym);
-
-    account(obs);
-    return obs;
-}
-
 std::optional<Symbol>
 SeqPredictor::prediction(BlockId blk) const
 {
-    auto it = blocks_.find(blk);
-    if (it == blocks_.end())
+    const BlockPattern *bp = findBlock(blk);
+    if (!bp)
         return std::nullopt;
-    return it->second.lookup();
+    return bp->lookup();
 }
 
 StorageReport
 SeqPredictor::storage() const
 {
     StorageReport r;
-    r.blocksAllocated = blocks_.size();
-    for (const auto &[blk, bp] : blocks_)
-        r.pteTotal += bp.entries();
+    r.blocksAllocated = store_.size();
+    r.pteTotal = pteTotal_;
     if (r.blocksAllocated == 0)
         return r;
     r.avgPte = static_cast<double>(r.pteTotal) /

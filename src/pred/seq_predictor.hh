@@ -9,8 +9,8 @@
 #ifndef MSPDSM_PRED_SEQ_PREDICTOR_HH
 #define MSPDSM_PRED_SEQ_PREDICTOR_HH
 
-#include <unordered_map>
-
+#include "base/chunked_vector.hh"
+#include "base/flat_map.hh"
 #include "pred/pattern_table.hh"
 #include "pred/predictor.hh"
 
@@ -24,25 +24,102 @@ namespace mspdsm
 class SeqPredictor : public PredictorBase
 {
   public:
-    SeqPredictor(std::size_t depth, unsigned numProcs)
-        : PredictorBase(depth, numProcs)
+    /**
+     * @param alphabet bitmask over SymKind values naming the message
+     *        kinds this predictor observes (a data member rather than
+     *        a virtual hook: the alphabet test runs per message)
+     */
+    SeqPredictor(std::size_t depth, unsigned numProcs,
+                 unsigned alphabet)
+        : PredictorBase(depth, numProcs), alphabet_(alphabet)
     {}
 
-    Observation observe(BlockId blk, const PredMsg &msg) override;
+    /**
+     * Defined inline: this is the per-message hot path of the whole
+     * simulator, and the call sites (directory observation loop,
+     * micro benches) must be able to absorb it.
+     */
+    Observation
+    observe(BlockId blk, const PredMsg &msg) override
+    {
+        Observation obs;
+        if (!inAlphabet(msg.kind))
+            return obs;
+        obs.inAlphabet = true;
+
+        BlockPattern &bp = blockState(blk);
+
+        const Symbol sym = Symbol::of(msg.kind, msg.src);
+
+        const BlockPattern::LearnResult r = bp.observeLearn(sym);
+        obs.predicted = r.hadPred;
+        obs.correct = r.matched;
+        if (r.inserted)
+            ++pteTotal_;
+
+        account(obs);
+        return obs;
+    }
 
     StorageReport storage() const override;
 
     /** Predicted next message for @p blk, if known. */
     std::optional<Symbol> prediction(BlockId blk) const;
 
-  protected:
-    /** @return true iff @p kind is in this predictor's alphabet. */
-    virtual bool inAlphabet(SymKind kind) const = 0;
+    /** Bitmask bit for one symbol kind. */
+    static constexpr unsigned
+    kindBit(SymKind k)
+    {
+        return 1u << static_cast<unsigned>(k);
+    }
 
+    /** @return true iff @p kind is in this predictor's alphabet. */
+    bool
+    inAlphabet(SymKind kind) const
+    {
+        return alphabet_ & kindBit(kind);
+    }
+
+  protected:
     /** Bits for one history entry: type bits + pid bits. */
     virtual unsigned historyEntryBits() const = 0;
 
-    std::unordered_map<BlockId, BlockPattern> blocks_;
+    const unsigned alphabet_;
+
+    /**
+     * Find-or-create the per-block state, memoizing the most recent
+     * block: directory message streams are bursty per block, so the
+     * repeat lookup is the common case. Block records live in a
+     * chunked arena (stable addresses, dense first-touch layout); the
+     * index map holds only 16-byte slots, so its rehashes move no
+     * block state.
+     */
+    BlockPattern &
+    blockState(BlockId blk)
+    {
+        if (memoBp_ && memoBlk_ == blk)
+            return *memoBp_;
+        auto [it, fresh] = index_.try_emplace(blk, nullptr);
+        if (fresh)
+            it->second = &store_.emplace_back(depth_);
+        memoBlk_ = blk;
+        memoBp_ = it->second;
+        return *memoBp_;
+    }
+
+    /** Per-block state for @p blk if it exists (const paths). */
+    const BlockPattern *
+    findBlock(BlockId blk) const
+    {
+        auto it = index_.find(blk);
+        return it == index_.end() ? nullptr : it->second;
+    }
+
+    FlatMap<BlockId, BlockPattern *> index_; //!< blk -> arena record
+    ChunkedVector<BlockPattern> store_;
+    std::uint64_t pteTotal_ = 0; //!< entries across all blocks
+    BlockId memoBlk_ = 0;
+    BlockPattern *memoBp_ = nullptr;
 };
 
 /**
@@ -50,20 +127,21 @@ class SeqPredictor : public PredictorBase
  * paper's baseline. Predicts requests *and* acknowledgements, using
  * 3 type bits per symbol.
  */
-class Cosmos : public SeqPredictor
+class Cosmos final : public SeqPredictor
 {
   public:
-    using SeqPredictor::SeqPredictor;
+    Cosmos(std::size_t depth, unsigned numProcs)
+        : SeqPredictor(depth, numProcs,
+                       // every directory-incoming message
+                       kindBit(SymKind::Read) | kindBit(SymKind::Write) |
+                           kindBit(SymKind::Upgrade) |
+                           kindBit(SymKind::InvAck) |
+                           kindBit(SymKind::WriteBack))
+    {}
 
     const char *name() const override { return "Cosmos"; }
 
   protected:
-    bool
-    inAlphabet(SymKind) const override
-    {
-        return true; // every directory-incoming message
-    }
-
     unsigned historyEntryBits() const override { return 3 + pidBits(); }
 };
 
@@ -72,21 +150,19 @@ class Cosmos : public SeqPredictor
  * request messages (read / write / upgrade), dropping acknowledgements
  * from the pattern tables; 2 type bits per symbol.
  */
-class Msp : public SeqPredictor
+class Msp final : public SeqPredictor
 {
   public:
-    using SeqPredictor::SeqPredictor;
+    Msp(std::size_t depth, unsigned numProcs)
+        : SeqPredictor(depth, numProcs,
+                       // request messages only
+                       kindBit(SymKind::Read) | kindBit(SymKind::Write) |
+                           kindBit(SymKind::Upgrade))
+    {}
 
     const char *name() const override { return "MSP"; }
 
   protected:
-    bool
-    inAlphabet(SymKind kind) const override
-    {
-        return kind == SymKind::Read || kind == SymKind::Write ||
-               kind == SymKind::Upgrade;
-    }
-
     unsigned historyEntryBits() const override { return 2 + pidBits(); }
 };
 

@@ -6,69 +6,15 @@ namespace mspdsm
 Vmsp::BlockState *
 Vmsp::findState(BlockId blk)
 {
-    auto it = blocks_.find(blk);
-    return it == blocks_.end() ? nullptr : &it->second;
+    auto it = index_.find(blk);
+    return it == index_.end() ? nullptr : it->second;
 }
 
 const Vmsp::BlockState *
 Vmsp::findState(BlockId blk) const
 {
-    auto it = blocks_.find(blk);
-    return it == blocks_.end() ? nullptr : &it->second;
-}
-
-Observation
-Vmsp::observe(BlockId blk, const PredMsg &msg)
-{
-    Observation obs;
-    const bool is_read = msg.kind == SymKind::Read;
-    const bool is_write =
-        msg.kind == SymKind::Write || msg.kind == SymKind::Upgrade;
-    if (!is_read && !is_write)
-        return obs; // acknowledgements are not in VMSP's alphabet
-    obs.inAlphabet = true;
-
-    auto [it, fresh] = blocks_.try_emplace(blk, depth_);
-    BlockState &st = it->second;
-    (void)fresh;
-
-    if (is_read) {
-        // The open vector does not advance the history; the read is
-        // judged against the prediction standing for this read phase.
-        if (auto pred = st.pattern.lookup()) {
-            obs.predicted = true;
-            obs.correct = pred->kind == SymKind::ReadVec &&
-                          pred->vec.contains(msg.src);
-        }
-        st.openVec.add(msg.src);
-        st.openActive = true;
-        account(obs);
-        return obs;
-    }
-
-    // Write or upgrade: first close any open read vector, learning it
-    // as the successor of the pre-phase history.
-    if (st.openActive) {
-        st.pattern.learnAndPush(Symbol::readVec(st.openVec));
-        st.openVec.clear();
-        st.openActive = false;
-    }
-
-    const Symbol sym = Symbol::of(msg.kind, msg.src);
-    if (auto pred = st.pattern.lookup()) {
-        obs.predicted = true;
-        obs.correct = (*pred == sym);
-    }
-    if (st.pattern.warm()) {
-        st.lastWriteKey = st.pattern.key();
-        st.lastWriteKeyValid = true;
-    } else {
-        st.lastWriteKeyValid = false;
-    }
-    st.pattern.learnAndPush(sym);
-
-    account(obs);
-    return obs;
+    auto it = index_.find(blk);
+    return it == index_.end() ? nullptr : it->second;
 }
 
 std::optional<Symbol>
@@ -138,17 +84,16 @@ void
 Vmsp::eraseEntry(BlockId blk, const HistoryKey &k)
 {
     BlockState *st = findState(blk);
-    if (st)
-        st->pattern.erase(k);
+    if (st && st->pattern.erase(k))
+        --pteTotal_;
 }
 
 StorageReport
 Vmsp::storage() const
 {
     StorageReport r;
-    r.blocksAllocated = blocks_.size();
-    for (const auto &[blk, st] : blocks_)
-        r.pteTotal += st.pattern.entries();
+    r.blocksAllocated = store_.size();
+    r.pteTotal = pteTotal_;
     if (r.blocksAllocated == 0)
         return r;
     r.avgPte = static_cast<double>(r.pteTotal) /

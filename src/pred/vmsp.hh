@@ -26,8 +26,9 @@
 #define MSPDSM_PRED_VMSP_HH
 
 #include <optional>
-#include <unordered_map>
 
+#include "base/chunked_vector.hh"
+#include "base/flat_map.hh"
 #include "pred/pattern_table.hh"
 #include "pred/predictor.hh"
 
@@ -37,7 +38,7 @@ namespace mspdsm
 /**
  * Vector Memory Sharing Predictor.
  */
-class Vmsp : public PredictorBase
+class Vmsp final : public PredictorBase
 {
   public:
     Vmsp(std::size_t depth, unsigned numProcs)
@@ -46,7 +47,65 @@ class Vmsp : public PredictorBase
 
     const char *name() const override { return "VMSP"; }
 
-    Observation observe(BlockId blk, const PredMsg &msg) override;
+    /**
+     * Defined inline: per-message hot path (see SeqPredictor::observe).
+     */
+    Observation
+    observe(BlockId blk, const PredMsg &msg) override
+    {
+        Observation obs;
+        const bool is_read = msg.kind == SymKind::Read;
+        const bool is_write = msg.kind == SymKind::Write ||
+                              msg.kind == SymKind::Upgrade;
+        if (!is_read && !is_write)
+            return obs; // acknowledgements are not in VMSP's alphabet
+        obs.inAlphabet = true;
+
+        BlockState &st = blockState(blk);
+
+        if (is_read) {
+            // The open vector does not advance the history; the read
+            // is judged against the prediction standing for this read
+            // phase.
+            if (const PatternEntry *e = st.pattern.peek()) {
+                obs.predicted = true;
+                obs.correct =
+                    Symbol::encodedKind(e->pred) == SymKind::ReadVec &&
+                    NodeSet::fromRaw(Symbol::encodedPayload(e->pred))
+                        .contains(msg.src);
+            }
+            st.openVec.add(msg.src);
+            st.openActive = true;
+            account(obs);
+            return obs;
+        }
+
+        // Write or upgrade: first close any open read vector,
+        // learning it as the successor of the pre-phase history.
+        if (st.openActive) {
+            if (st.pattern.learnAndPush(Symbol::readVec(st.openVec)))
+                ++pteTotal_;
+            st.openVec.clear();
+            st.openActive = false;
+        }
+
+        const Symbol sym = Symbol::of(msg.kind, msg.src);
+        if (st.pattern.warm()) {
+            st.lastWriteKey = st.pattern.key();
+            st.lastWriteKeyValid = true;
+        } else {
+            st.lastWriteKeyValid = false;
+        }
+        const BlockPattern::LearnResult r =
+            st.pattern.observeLearn(sym);
+        obs.predicted = r.hadPred;
+        obs.correct = r.matched;
+        if (r.inserted)
+            ++pteTotal_;
+
+        account(obs);
+        return obs;
+    }
 
     StorageReport storage() const override;
 
@@ -103,7 +162,31 @@ class Vmsp : public PredictorBase
     BlockState *findState(BlockId blk);
     const BlockState *findState(BlockId blk) const;
 
-    std::unordered_map<BlockId, BlockState> blocks_;
+    /**
+     * Find-or-create per-block state with a most-recent-block memo
+     * (bursty streams; see SeqPredictor::blockState). Records live in
+     * a chunked arena with stable addresses; the index map holds only
+     * 16-byte slots.
+     */
+    BlockState &
+    blockState(BlockId blk)
+    {
+        if (memoSt_ && memoBlk_ == blk)
+            return *memoSt_;
+        auto [it, fresh] = index_.try_emplace(blk, nullptr);
+        if (fresh)
+            it->second = &store_.emplace_back(depth_);
+        memoBlk_ = blk;
+        memoSt_ = it->second;
+        return *memoSt_;
+    }
+
+    FlatMap<BlockId, BlockState *> index_; //!< blk -> arena record
+    ChunkedVector<BlockState> store_;
+    std::uint64_t pteTotal_ = 0; //!< entries across all blocks,
+                                 //!< maintained incrementally
+    BlockId memoBlk_ = 0;
+    BlockState *memoSt_ = nullptr;
 };
 
 } // namespace mspdsm

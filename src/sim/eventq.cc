@@ -1,31 +1,110 @@
 #include "sim/eventq.hh"
 
+#include <bit>
+
 #include "base/logging.hh"
 
 namespace mspdsm
 {
 
 void
-EventQueue::schedule(Tick when, Callback cb)
+EventQueue::schedule(Tick when, Event &ev)
 {
     panic_if(when < curTick_, "event scheduled in the past (", when,
              " < ", curTick_, ")");
-    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+    panic_if(ev.scheduled_, "event already scheduled (for tick ",
+             ev.when_, ")");
+    ev.when_ = when;
+    ev.seq_ = nextSeq_++;
+    ev.scheduled_ = true;
+    ev.next_ = nullptr;
+    if (when - wheelBase_ < wheelSize)
+        enqueueWheel(ev);
+    else
+        far_.push(FarEntry{when, ev.seq_, &ev});
+}
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    LambdaEvent &e = lambdaPool_.acquire(this);
+    e.fn_ = std::move(cb);
+    schedule(when, e);
+}
+
+Tick
+EventQueue::nextWheelTick() const
+{
+    // The window holds ticks [wheelBase_, wheelBase_ + wheelSize), one
+    // bucket each; scan the occupancy bitmap circularly from the
+    // window start.
+    const std::size_t start = wheelBase_ & wheelMask;
+    std::size_t word = start / 64;
+    // Mask off bits below the start position in the first word.
+    std::uint64_t bits = occupied_[word] &
+                         (~std::uint64_t{0} << (start & 63));
+    for (std::size_t scanned = 0; scanned <= wheelWords; ++scanned) {
+        if (bits) {
+            const std::size_t idx =
+                word * 64 +
+                static_cast<std::size_t>(std::countr_zero(bits));
+            // Circular distance from the window start to the bucket.
+            const std::size_t dist = (idx - start) & wheelMask;
+            return wheelBase_ + dist;
+        }
+        word = (word + 1) % wheelWords;
+        bits = occupied_[word];
+        // Wrapped back to the first word: take only bits below start.
+        if (word == start / 64)
+            bits &= ~(~std::uint64_t{0} << (start & 63));
+    }
+    panic("nextWheelTick on an empty wheel");
+}
+
+void
+EventQueue::advanceTo(Tick t)
+{
+    curTick_ = t;
+    wheelBase_ = t;
+    // Pull far events that fit the advanced window. They pop in
+    // (when, seq) order, and no direct insert for these ticks can
+    // have happened yet, so per-tick FIFO order is preserved.
+    while (!far_.empty() && far_.top().when - wheelBase_ < wheelSize) {
+        Event *ev = far_.top().ev;
+        far_.pop();
+        enqueueWheel(*ev);
+    }
 }
 
 bool
 EventQueue::run(Tick limit)
 {
-    while (!heap_.empty()) {
-        // Entry must be copied out before pop: the callback may
-        // schedule new events and invalidate the heap top.
-        Entry e = heap_.top();
-        if (e.when > limit)
+    while (wheelCount_ + far_.size() > 0) {
+        Tick next;
+        if (wheelCount_ > 0) {
+            next = nextWheelTick();
+        } else {
+            next = far_.top().when;
+        }
+        if (next > limit)
             return false;
-        heap_.pop();
-        curTick_ = e.when;
-        ++executed_;
-        e.cb();
+        advanceTo(next);
+
+        Bucket &b = buckets_[next & wheelMask];
+        while (Event *e = b.head) {
+            b.head = e->next_;
+            if (!b.head)
+                b.tail = nullptr;
+            --wheelCount_;
+            e->next_ = nullptr;
+            e->scheduled_ = false;
+            ++executed_;
+            // process() may schedule new events, including into this
+            // very bucket (same-tick work is drained in FIFO order).
+            e->process();
+        }
+        occupied_[(next & wheelMask) / 64] &=
+            ~(std::uint64_t{1} << (next & 63));
     }
     return true;
 }

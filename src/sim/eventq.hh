@@ -2,23 +2,104 @@
  * @file
  * Discrete-event simulation kernel.
  *
- * A single EventQueue drives the whole simulated machine. Components
- * schedule std::function callbacks at absolute ticks; ties are broken by
- * insertion order, which keeps runs deterministic for a fixed seed.
+ * A single EventQueue drives the whole simulated machine. The kernel
+ * is built for the protocol's event profile -- tens of millions of
+ * events, almost all scheduled a few hundred ticks out -- so the
+ * ordering structure is a bucketed timing wheel rather than a binary
+ * heap:
+ *
+ *  - Events are *intrusive*: components derive from Event and own
+ *    their event objects, so scheduling allocates nothing and firing
+ *    is one virtual call. Events scheduled through the legacy
+ *    std::function API are wrapped in pooled LambdaEvents.
+ *  - The wheel covers the next `wheelSize` ticks, one intrusive FIFO
+ *    list per tick; within a tick, events fire in schedule order (the
+ *    tie-break determinism the whole test suite depends on). A bitmap
+ *    over the buckets makes "next occupied tick" a few word scans.
+ *  - Events beyond the wheel horizon wait in a far-heap ordered by
+ *    (tick, seq) and migrate into the wheel when the window advances
+ *    past their tick minus the horizon; because migration happens
+ *    before any same-tick direct insert can occur (a tick accepts
+ *    direct inserts only once it is inside the window, and the window
+ *    only advances at migration points), FIFO order is preserved
+ *    end-to-end.
  */
 
 #ifndef MSPDSM_SIM_EVENTQ_HH
 #define MSPDSM_SIM_EVENTQ_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <vector>
 
+#include "base/chunked_vector.hh"
 #include "base/types.hh"
 
 namespace mspdsm
 {
+
+class EventQueue;
+
+/**
+ * Base class of everything schedulable. Components embed (or pool)
+ * their Event objects; an event may be rescheduled freely once it has
+ * fired, but not while it is pending.
+ */
+class Event
+{
+  public:
+    virtual ~Event() = default;
+
+    /** Invoked by the queue at the scheduled tick. */
+    virtual void process() = 0;
+
+    /** True while the event sits in a queue. */
+    bool scheduled() const { return scheduled_; }
+
+    /** Scheduled tick (meaningful while scheduled). */
+    Tick when() const { return when_; }
+
+  private:
+    friend class EventQueue;
+
+    Event *next_ = nullptr; //!< intrusive bucket list link
+    Tick when_ = 0;
+    std::uint64_t seq_ = 0; //!< schedule order; breaks ties
+    bool scheduled_ = false;
+};
+
+/**
+ * Slab-backed free-list pool for one component's event objects:
+ * acquire() recycles or carves a new event from chunked storage
+ * (stable addresses), release() returns it. The pool owns the slabs;
+ * events must not be released twice or used after release.
+ */
+template <typename T>
+class EventPool
+{
+  public:
+    /** Get an event; @p args are used only when a new one is carved. */
+    template <typename... Args>
+    T &
+    acquire(Args &&...args)
+    {
+        if (!free_.empty()) {
+            T *e = free_.back();
+            free_.pop_back();
+            return *e;
+        }
+        return slab_.emplace_back(std::forward<Args>(args)...);
+    }
+
+    /** Return an event to the pool. */
+    void release(T &e) { free_.push_back(&e); }
+
+  private:
+    ChunkedVector<T> slab_;
+    std::vector<T *> free_;
+};
 
 /**
  * Global event queue for one simulation instance.
@@ -26,19 +107,34 @@ namespace mspdsm
 class EventQueue
 {
   public:
-    /** Callback type executed when an event fires. */
+    /** Legacy callback type; wrapped in a pooled event. */
     using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulated time. */
     Tick curTick() const { return curTick_; }
 
     /**
-     * Schedule @p cb to run at absolute time @p when.
-     * @p when must not be in the past.
+     * Schedule @p ev to fire at absolute time @p when.
+     * @p when must not be in the past and @p ev must not already be
+     * scheduled.
      */
+    void schedule(Tick when, Event &ev);
+
+    /** Schedule @p ev to fire @p delay ticks from now. */
+    void
+    scheduleAfter(Tick delay, Event &ev)
+    {
+        schedule(curTick_ + delay, ev);
+    }
+
+    /** Schedule @p cb at @p when via a pooled wrapper event. */
     void schedule(Tick when, Callback cb);
 
-    /** Schedule @p cb to run @p delay ticks from now. */
+    /** Schedule @p cb @p delay ticks from now. */
     void
     scheduleAfter(Tick delay, Callback cb)
     {
@@ -46,10 +142,10 @@ class EventQueue
     }
 
     /** Number of events not yet executed. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const { return wheelCount_ + far_.size(); }
 
     /**
-     * Run until the queue drains or @p limit ticks elapse.
+     * Run until the queue drains or an event beyond @p limit is next.
      * @return true if the queue drained, false if the limit was hit
      *         (which usually indicates a deadlock in the simulated
      *         machine and is treated as an error by callers).
@@ -60,17 +156,34 @@ class EventQueue
     std::uint64_t executed() const { return executed_; }
 
   private:
-    struct Entry
+    /**
+     * Wheel span in ticks; events beyond it take the far-heap. Sized
+     * to cover not just the protocol's raw latencies (all < 512) but
+     * the NI backlog a contended interface can accumulate, so the
+     * heap is a true fallback. 4096 buckets cost 64KB + a 512-byte
+     * bitmap.
+     */
+    static constexpr std::size_t wheelSize = 4096;
+    static constexpr std::size_t wheelMask = wheelSize - 1;
+    static constexpr std::size_t wheelWords = wheelSize / 64;
+
+    struct Bucket
     {
-        Tick when;
-        std::uint64_t seq; //!< insertion order; breaks ties
-        Callback cb;
+        Event *head = nullptr;
+        Event *tail = nullptr;
     };
 
-    struct Later
+    struct FarEntry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Event *ev;
+    };
+
+    struct FarLater
     {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator()(const FarEntry &a, const FarEntry &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -78,7 +191,61 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /** Wrapper carrying a std::function through the intrusive queue. */
+    class LambdaEvent final : public Event
+    {
+      public:
+        explicit LambdaEvent(EventQueue *q) : owner_(q) {}
+
+        void
+        process() override
+        {
+            Callback fn = std::move(fn_);
+            fn_ = nullptr;
+            // Release first: the callback may schedule again and is
+            // allowed to reuse this slot.
+            owner_->lambdaPool_.release(*this);
+            fn();
+        }
+
+        Callback fn_;
+
+      private:
+        EventQueue *owner_;
+    };
+
+    /** Append to the wheel bucket for ev.when_ and mark it occupied. */
+    void
+    enqueueWheel(Event &ev)
+    {
+        Bucket &b = buckets_[ev.when_ & wheelMask];
+        if (b.tail)
+            b.tail->next_ = &ev;
+        else
+            b.head = &ev;
+        b.tail = &ev;
+        occupied_[(ev.when_ & wheelMask) / 64] |=
+            std::uint64_t{1} << (ev.when_ & 63);
+        ++wheelCount_;
+    }
+
+    /** Smallest occupied wheel tick >= curTick_ (wheel non-empty). */
+    Tick nextWheelTick() const;
+
+    /**
+     * Move to tick @p t: advance the window and pull far-heap events
+     * whose tick is now inside it.
+     */
+    void advanceTo(Tick t);
+
+    std::array<Bucket, wheelSize> buckets_{};
+    std::array<std::uint64_t, wheelWords> occupied_{};
+    Tick wheelBase_ = 0; //!< window start; == curTick_ while running
+    std::size_t wheelCount_ = 0;
+    std::priority_queue<FarEntry, std::vector<FarEntry>, FarLater> far_;
+
+    EventPool<LambdaEvent> lambdaPool_;
+
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
