@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "base/table.hh"
+#include "bench_common.hh"
 #include "pred/seq_predictor.hh"
 #include "pred/vmsp.hh"
 
@@ -37,8 +38,15 @@ drive(P &p, int rounds, int degree, bool with_acks)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Drives the predictors directly (no DsmSystem runs); the unified
+    // CLI is accepted for suite uniformity; --json records an empty
+    // sweep.
+    const bench::BenchArgs args = bench::parseArgs(
+        argc, argv, "ablation_encoding",
+        "Ablation A3: storage vs read-sharing degree (Section 3.1)");
+
     constexpr unsigned procs = 16;
     std::printf("Ablation: storage vs read-sharing degree "
                 "(stable producer/consumer, d=1, n=16)\n");
@@ -64,5 +72,6 @@ main()
                   Table::fmt(std::uint64_t(2 + procs))});
     }
     t.print(std::cout);
-    return 0;
+    SweepRunner sweep(bench::sweepOptions(args));
+    return bench::finishSweep(sweep, args, "ablation_encoding");
 }

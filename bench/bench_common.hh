@@ -3,8 +3,10 @@
  * Shared infrastructure for the experiment and perf binaries.
  *
  * Two layers live here:
- *  - parseArgs(): the [scale] [iterations] command line every paper
- *    figure/table bench accepts;
+ *  - parseArgs(): the one command line every bench binary accepts
+ *    (--scale/--procs/--iters/--seed for the workload, --jobs/--json
+ *    for the sweep engine, --smoke/-o for the micro harness), plus
+ *    the legacy positional [scale] [iterations] form;
  *  - a small self-contained timing harness (no external benchmark
  *    library) used by the micro benches: each benchmark is a callable
  *    returning the number of items it processed; the harness repeats
@@ -18,8 +20,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <functional>
+#include <iostream>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -29,23 +35,140 @@
 #endif
 
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 
 namespace mspdsm::bench
 {
 
-/** Parse [scale] [iterations] from argv. */
-inline ExperimentConfig
-parseArgs(int argc, char **argv)
+/** The uniform command line of every bench binary. */
+struct BenchArgs
 {
-    ExperimentConfig ec;
-    ec.scale = 1.0;
-    ec.iterations = 0; // per-app defaults
-    if (argc > 1)
-        ec.scale = std::atof(argv[1]);
-    if (argc > 2)
-        ec.iterations =
-            static_cast<unsigned>(std::atoi(argv[2]));
-    return ec;
+    ExperimentConfig ec;  //!< --scale / --iters / --procs / --seed
+    unsigned jobs = 1;    //!< --jobs N (0 = hardware concurrency)
+    std::string jsonPath; //!< --json FILE / -o FILE ("" = no JSON)
+    bool smoke = false;   //!< --smoke: shorten micro benches for CI
+};
+
+/** Print the shared usage text for @p tool. */
+inline void
+printUsage(std::ostream &os, const char *tool, const char *what)
+{
+    os << "usage: " << tool << " [options] [scale] [iterations]\n"
+       << "  " << what << "\n\n"
+       << "options:\n"
+       << "  --scale X    workload size multiplier (default 1.0)\n"
+       << "  --iters N    iteration override (0 = app default)\n"
+       << "  --procs N    simulated node count (default 16)\n"
+       << "  --seed N     run-level seed (default 42)\n"
+       << "  --tick-limit N  deadlock-guard tick budget per run;\n"
+       << "               trips surface as TICK-LIMIT rows / JSON\n"
+       << "               tick_limit fields, never a stderr warning\n"
+       << "  --jobs N     parallel runs; 0 = all hardware threads\n"
+       << "               (default 1 = serial; results are\n"
+       << "               bit-identical either way)\n"
+       << "  --json FILE  write the mspdsm-sweep-v1 record to FILE\n"
+       << "  -o FILE      alias of --json (BENCH_core.json schema\n"
+       << "               for the micro benches)\n"
+       << "  --smoke      micro benches only: shorten for CI\n"
+       << "  --help       this text\n";
+}
+
+/**
+ * Parse the uniform bench command line; exits on --help (0) and on a
+ * malformed or unknown argument (2).
+ */
+inline BenchArgs
+parseArgs(int argc, char **argv, const char *tool, const char *what)
+{
+    BenchArgs a;
+    int positional = 0;
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::cerr << tool << ": " << argv[i]
+                      << " needs a value (try --help)\n";
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+            printUsage(std::cout, tool, what);
+            std::exit(0);
+        } else if (!std::strcmp(arg, "--scale")) {
+            a.ec.scale = std::atof(value(i));
+        } else if (!std::strcmp(arg, "--iters") ||
+                   !std::strcmp(arg, "--iterations")) {
+            a.ec.iterations =
+                static_cast<unsigned>(std::atoi(value(i)));
+        } else if (!std::strcmp(arg, "--procs")) {
+            a.ec.numProcs = static_cast<unsigned>(std::atoi(value(i)));
+        } else if (!std::strcmp(arg, "--seed")) {
+            a.ec.seed = std::strtoull(value(i), nullptr, 10);
+        } else if (!std::strcmp(arg, "--tick-limit")) {
+            a.ec.tickLimit = std::strtoull(value(i), nullptr, 10);
+        } else if (!std::strcmp(arg, "--jobs") ||
+                   !std::strcmp(arg, "-j")) {
+            a.jobs = static_cast<unsigned>(std::atoi(value(i)));
+        } else if (!std::strcmp(arg, "--json") ||
+                   !std::strcmp(arg, "-o")) {
+            a.jsonPath = value(i);
+        } else if (!std::strcmp(arg, "--smoke")) {
+            a.smoke = true;
+        } else if (arg[0] == '-' && arg[1] != '\0') {
+            std::cerr << tool << ": unknown option " << arg
+                      << " (try --help)\n";
+            std::exit(2);
+        } else if (positional == 0) {
+            a.ec.scale = std::atof(arg); // legacy [scale]
+            ++positional;
+        } else if (positional == 1) {
+            a.ec.iterations = // legacy [iterations]
+                static_cast<unsigned>(std::atoi(arg));
+            ++positional;
+        } else {
+            std::cerr << tool << ": unexpected argument " << arg
+                      << " (try --help)\n";
+            std::exit(2);
+        }
+    }
+    return a;
+}
+
+/** Sweep-engine options implied by the command line. */
+inline SweepOptions
+sweepOptions(const BenchArgs &a)
+{
+    SweepOptions o;
+    o.jobs = a.jobs;
+    return o;
+}
+
+/**
+ * Shared sweep epilogue: per-run summary table (the structured view
+ * of tick-limit guard trips) and, when requested, the JSON record.
+ * @return the binary's exit code
+ */
+inline int
+finishSweep(SweepRunner &sweep, const BenchArgs &args, const char *tool)
+{
+    if (!sweep.results().empty()) {
+        // Deliberately no wall time on stdout: repeated runs of one
+        // bench command must be byte-identical (timings go to the
+        // JSON record).
+        std::printf("\nSweep summary (%u job%s):\n", sweep.jobs(),
+                    sweep.jobs() == 1 ? "" : "s");
+        sweep.printSummary(std::cout);
+    }
+    if (!args.jsonPath.empty()) {
+        if (!sweep.writeJsonFile(args.jsonPath, tool)) {
+            std::cerr << tool << ": cannot write " << args.jsonPath
+                      << "\n";
+            return 1;
+        }
+        std::cout << "wrote " << args.jsonPath << "\n";
+    }
+    return 0;
 }
 
 /** Outcome of one timed microbenchmark. */
@@ -126,6 +249,36 @@ printResults(std::ostream &os, const std::vector<BenchResult> &rs)
  * Serialize results plus headline metrics as the BENCH_core.json
  * schema consumed by CI and the ROADMAP perf log.
  */
+inline void
+writeJson(std::ostream &os, const std::vector<BenchResult> &rs,
+          const std::vector<std::pair<std::string, double>> &headline);
+
+/**
+ * Shared micro-bench epilogue: write the BENCH_core.json-schema
+ * record to @p path (announced on stdout).
+ * @return the binary's exit code
+ */
+inline int
+writeMicroJson(const std::string &path,
+               const std::vector<BenchResult> &rs,
+               const std::vector<std::pair<std::string, double>>
+                   &headline)
+{
+    std::ofstream f(path);
+    if (!f) {
+        std::cerr << "cannot open " << path << " for writing\n";
+        return 1;
+    }
+    writeJson(f, rs, headline);
+    std::cout << "wrote " << path << " (";
+    for (std::size_t i = 0; i < headline.size(); ++i) {
+        std::cout << (i ? ", " : "") << headline[i].first << " "
+                  << headline[i].second;
+    }
+    std::cout << ")\n";
+    return 0;
+}
+
 inline void
 writeJson(std::ostream &os, const std::vector<BenchResult> &rs,
           const std::vector<std::pair<std::string, double>> &headline)

@@ -9,7 +9,6 @@
  * Usage: bench_core [--smoke] [-o FILE]   (default FILE: BENCH_core.json)
  */
 
-#include <cstring>
 #include <fstream>
 #include <iostream>
 
@@ -18,14 +17,15 @@
 int
 main(int argc, char **argv)
 {
+    const mspdsm::bench::BenchArgs args = mspdsm::bench::parseArgs(
+        argc, argv, "bench_core",
+        "Perf-tracking micro suites; writes the BENCH_core.json "
+        "schema");
     mspdsm::bench::BenchOptions opts;
-    const char *out = "BENCH_core.json";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0)
-            opts.minSeconds = 0.05;
-        else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc)
-            out = argv[++i];
-    }
+    if (args.smoke)
+        opts.minSeconds = 0.05;
+    const std::string out =
+        args.jsonPath.empty() ? "BENCH_core.json" : args.jsonPath;
 
     auto rs = mspdsm::bench::runSimSuite(opts);
     auto pr = mspdsm::bench::runPredictorSuite(opts);
@@ -38,15 +38,7 @@ main(int argc, char **argv)
     const double lookups =
         mspdsm::bench::itemsPerSec(rs, "pred/observe_mix");
 
-    std::ofstream f(out);
-    if (!f) {
-        std::cerr << "cannot open " << out << " for writing\n";
-        return 1;
-    }
-    mspdsm::bench::writeJson(f, rs,
-                             {{"events_per_sec", events},
-                              {"lookups_per_sec", lookups}});
-    std::cout << "wrote " << out << " (events_per_sec " << events
-              << ", lookups_per_sec " << lookups << ")\n";
-    return 0;
+    return mspdsm::bench::writeMicroJson(out, rs,
+                                         {{"events_per_sec", events},
+                                          {"lookups_per_sec", lookups}});
 }

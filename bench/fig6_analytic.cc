@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "base/table.hh"
+#include "bench_common.hh"
 #include "model/analytic.hh"
 
 using namespace mspdsm;
@@ -55,8 +56,14 @@ base()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Closed-form model, no simulation runs: the unified CLI is
+    // accepted for suite uniformity; --json records an empty sweep.
+    const bench::BenchArgs args = bench::parseArgs(
+        argc, argv, "fig6_analytic",
+        "Figure 6: analytic speedup model (Section 5), four panels");
+
     std::printf("Figure 6: analytic speedup of a speculative "
                 "coherent DSM\n\n");
 
@@ -98,5 +105,6 @@ main()
         curves.emplace_back("rtl=2 (Origin)", mp);
         panel("(d) machine sweep: p=0.9, n=2, f=1.0", "rtl", curves);
     }
-    return 0;
+    SweepRunner sweep(bench::sweepOptions(args));
+    return bench::finishSweep(sweep, args, "fig6_analytic");
 }

@@ -19,18 +19,25 @@ using namespace mspdsm;
 int
 main(int argc, char **argv)
 {
-    const ExperimentConfig ec = bench::parseArgs(argc, argv);
+    const bench::BenchArgs args = bench::parseArgs(
+        argc, argv, "fig7_accuracy",
+        "Figure 7: base predictor accuracy, history depth 1");
+
+    SweepRunner sweep(bench::sweepOptions(args));
+    for (const AppInfo &info : appSuite())
+        sweep.addAccuracy(info.name, 1, args.ec);
+    const auto &recs = sweep.results();
 
     std::printf("Figure 7: prediction accuracy (%%), history depth 1\n");
     std::printf("(paper: Cosmos avg 81, MSP avg 86, VMSP avg 93)\n\n");
 
     Table t({"app", "Cosmos", "MSP", "VMSP"});
     double sum[3] = {0, 0, 0};
-    for (const AppInfo &info : appSuite()) {
-        const RunResult r = runAccuracy(info.name, 1, ec);
-        std::vector<std::string> row{info.name};
+    for (const SweepRecord &rec : recs) {
+        std::vector<std::string> row{rec.app};
         for (int k = 0; k < 3; ++k) {
-            const double acc = r.observers[k].stats.accuracyPct();
+            const double acc =
+                rec.result.observers[k].stats.accuracyPct();
             sum[k] += acc;
             row.push_back(Table::fmt(acc, 1));
         }
@@ -39,5 +46,5 @@ main(int argc, char **argv)
     t.addRow({"average", Table::fmt(sum[0] / 7, 1),
               Table::fmt(sum[1] / 7, 1), Table::fmt(sum[2] / 7, 1)});
     t.print(std::cout);
-    return 0;
+    return bench::finishSweep(sweep, args, "fig7_accuracy");
 }

@@ -21,7 +21,16 @@ using namespace mspdsm;
 int
 main(int argc, char **argv)
 {
-    const ExperimentConfig ec = bench::parseArgs(argc, argv);
+    const bench::BenchArgs args = bench::parseArgs(
+        argc, argv, "fig9_speedup",
+        "Figure 9: normalized execution time of the speculative DSMs");
+
+    SweepRunner sweep(bench::sweepOptions(args));
+    for (const AppInfo &info : appSuite())
+        for (SpecMode m : {SpecMode::None, SpecMode::FirstRead,
+                           SpecMode::SwiFirstRead})
+            sweep.addSpec(info.name, m, args.ec);
+    const auto &recs = sweep.results();
 
     std::printf("Figure 9: normalized execution time (%%), comp + "
                 "request wait\n");
@@ -31,12 +40,11 @@ main(int argc, char **argv)
     Table t({"app", "Base comp", "Base req", "FR comp", "FR req",
              "FR total", "SWI comp", "SWI req", "SWI total"});
     double fr_sum = 0, swi_sum = 0;
+    std::size_t i = 0;
     for (const AppInfo &info : appSuite()) {
-        const RunResult base = runSpec(info.name, SpecMode::None, ec);
-        const RunResult fr =
-            runSpec(info.name, SpecMode::FirstRead, ec);
-        const RunResult swi =
-            runSpec(info.name, SpecMode::SwiFirstRead, ec);
+        const RunResult &base = recs[i++].result;
+        const RunResult &fr = recs[i++].result;
+        const RunResult &swi = recs[i++].result;
 
         const double bt = static_cast<double>(base.execTicks);
         auto norm = [bt](const RunResult &r) {
@@ -59,5 +67,5 @@ main(int argc, char **argv)
     t.addRow({"average", "", "100.0", "", "", Table::fmt(fr_sum / 7, 1),
               "", "", Table::fmt(swi_sum / 7, 1)});
     t.print(std::cout);
-    return 0;
+    return bench::finishSweep(sweep, args, "fig9_speedup");
 }

@@ -7,7 +7,7 @@
  * Usage: micro_predictor [--smoke]
  */
 
-#include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "micro_suites.hh"
@@ -15,15 +15,21 @@
 int
 main(int argc, char **argv)
 {
+    const mspdsm::bench::BenchArgs args = mspdsm::bench::parseArgs(
+        argc, argv, "micro_predictor",
+        "Predictor observe()/lookup throughput microbenchmarks");
     mspdsm::bench::BenchOptions opts;
-    for (int i = 1; i < argc; ++i)
-        if (std::strcmp(argv[i], "--smoke") == 0)
-            opts.minSeconds = 0.05;
+    if (args.smoke)
+        opts.minSeconds = 0.05;
 
     const auto rs = mspdsm::bench::runPredictorSuite(opts);
     mspdsm::bench::printResults(std::cout, rs);
-    std::cout << "lookups_per_sec: "
-              << mspdsm::bench::itemsPerSec(rs, "pred/observe_mix")
-              << "\n";
+    const double lookups =
+        mspdsm::bench::itemsPerSec(rs, "pred/observe_mix");
+    std::cout << "lookups_per_sec: " << lookups << "\n";
+    if (!args.jsonPath.empty()) {
+        return mspdsm::bench::writeMicroJson(
+            args.jsonPath, rs, {{"lookups_per_sec", lookups}});
+    }
     return 0;
 }

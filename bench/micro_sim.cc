@@ -7,7 +7,7 @@
  * Usage: micro_sim [--smoke]
  */
 
-#include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "micro_suites.hh"
@@ -15,15 +15,21 @@
 int
 main(int argc, char **argv)
 {
+    const mspdsm::bench::BenchArgs args = mspdsm::bench::parseArgs(
+        argc, argv, "micro_sim",
+        "Event-kernel and end-to-end simulator microbenchmarks");
     mspdsm::bench::BenchOptions opts;
-    for (int i = 1; i < argc; ++i)
-        if (std::strcmp(argv[i], "--smoke") == 0)
-            opts.minSeconds = 0.05;
+    if (args.smoke)
+        opts.minSeconds = 0.05;
 
     const auto rs = mspdsm::bench::runSimSuite(opts);
     mspdsm::bench::printResults(std::cout, rs);
-    std::cout << "events_per_sec: "
-              << mspdsm::bench::itemsPerSec(rs, "eventq/throughput")
-              << "\n";
+    const double events =
+        mspdsm::bench::itemsPerSec(rs, "eventq/throughput");
+    std::cout << "events_per_sec: " << events << "\n";
+    if (!args.jsonPath.empty()) {
+        return mspdsm::bench::writeMicroJson(
+            args.jsonPath, rs, {{"events_per_sec", events}});
+    }
     return 0;
 }

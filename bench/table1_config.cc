@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "base/table.hh"
+#include "bench_common.hh"
 #include "dsm/system.hh"
 #include "workload/layout.hh"
 
@@ -17,20 +18,24 @@ using namespace mspdsm;
 namespace
 {
 
-Tick
+RunResult
 measure(const DsmConfig &cfg, NodeId who, Addr addr)
 {
     DsmSystem sys(cfg);
     std::vector<Trace> ts(cfg.proto.numNodes);
     ts[who] = {TraceOp::read(addr)};
-    return sys.run(ts).execTicks;
+    return sys.run(ts);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseArgs(
+        argc, argv, "table1_config",
+        "Table 1: simulated machine parameters + latency validation");
+
     DsmConfig cfg;
     cfg.proto.netJitter = 0;
     const ProtoConfig &p = cfg.proto;
@@ -54,9 +59,18 @@ main()
               Table::fmt(std::uint64_t(p.dirLookup)) + " cycles"});
     t.print(std::cout);
 
-    // Validate against the paper's headline numbers.
-    const Tick local = measure(cfg, 1, 1 * p.pageSize);
-    const Tick remote = measure(cfg, 1, 0 * p.pageSize);
+    // Validate against the paper's headline numbers. The two probe
+    // runs ride the sweep engine like every other experiment so the
+    // binary shares the --jobs/--json interface.
+    SweepRunner sweep(bench::sweepOptions(args));
+    sweep.add("local access", [cfg] {
+        return measure(cfg, 1, 1 * cfg.proto.pageSize);
+    });
+    sweep.add("round-trip miss", [cfg] {
+        return measure(cfg, 1, 0 * cfg.proto.pageSize);
+    });
+    const Tick local = sweep.result(0).execTicks;
+    const Tick remote = sweep.result(1).execTicks;
     std::printf("\nmeasured local access        %6llu cycles "
                 "(paper: 104)\n",
                 static_cast<unsigned long long>(local));
@@ -67,5 +81,5 @@ main()
                 "(paper: ~4)\n",
                 static_cast<double>(remote) /
                     static_cast<double>(local));
-    return 0;
+    return bench::finishSweep(sweep, args, "table1_config");
 }

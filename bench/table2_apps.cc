@@ -16,23 +16,31 @@ using namespace mspdsm;
 int
 main(int argc, char **argv)
 {
-    const ExperimentConfig ec = bench::parseArgs(argc, argv);
+    const bench::BenchArgs args = bench::parseArgs(
+        argc, argv, "table2_apps",
+        "Table 2: applications, inputs, and request volumes");
+
+    SweepRunner sweep(bench::sweepOptions(args));
+    for (const AppInfo &info : appSuite())
+        sweep.addSpec(info.name, SpecMode::None, args.ec);
+    const auto &recs = sweep.results();
 
     std::printf("Table 2: applications and input data sets\n\n");
     Table t({"app", "paper input", "iters", "this repro", "iters",
              "reads K", "writes K", "msgs K"});
+    std::size_t i = 0;
     for (const AppInfo &info : appSuite()) {
-        const RunResult r = runSpec(info.name, SpecMode::None, ec);
+        const RunResult &r = recs[i++].result;
         t.addRow({info.name, info.paperInput,
                   Table::fmt(std::uint64_t(info.paperIters)),
                   info.scaledInput,
                   Table::fmt(std::uint64_t(
-                      ec.iterations ? ec.iterations
-                                    : info.defaultIters)),
+                      args.ec.iterations ? args.ec.iterations
+                                         : info.defaultIters)),
                   Table::fmt(r.reads / 1000.0, 1),
                   Table::fmt(r.writes / 1000.0, 1),
                   Table::fmt(r.messages / 1000.0, 1)});
     }
     t.print(std::cout);
-    return 0;
+    return bench::finishSweep(sweep, args, "table2_apps");
 }

@@ -20,16 +20,22 @@ using namespace mspdsm;
 int
 main(int argc, char **argv)
 {
-    const ExperimentConfig ec = bench::parseArgs(argc, argv);
+    const bench::BenchArgs args = bench::parseArgs(
+        argc, argv, "table3_learning",
+        "Table 3: fraction of messages predicted, history depth 1");
+
+    SweepRunner sweep(bench::sweepOptions(args));
+    for (const AppInfo &info : appSuite())
+        sweep.addAccuracy(info.name, 1, args.ec);
+    const auto &recs = sweep.results();
 
     std::printf("Table 3: messages predicted (and correctly "
                 "predicted), %%, depth 1\n\n");
     Table t({"app", "Cosmos", "MSP", "VMSP"});
-    for (const AppInfo &info : appSuite()) {
-        const RunResult r = runAccuracy(info.name, 1, ec);
-        std::vector<std::string> row{info.name};
+    for (const SweepRecord &rec : recs) {
+        std::vector<std::string> row{rec.app};
         for (int k = 0; k < 3; ++k) {
-            const PredStats &s = r.observers[k].stats;
+            const PredStats &s = rec.result.observers[k].stats;
             char cell[32];
             std::snprintf(cell, sizeof(cell), "%.0f (%.0f)",
                           s.coveragePct(), s.correctOfAllPct());
@@ -38,5 +44,5 @@ main(int argc, char **argv)
         t.addRow(row);
     }
     t.print(std::cout);
-    return 0;
+    return bench::finishSweep(sweep, args, "table3_learning");
 }

@@ -20,15 +20,25 @@ using namespace mspdsm;
 int
 main(int argc, char **argv)
 {
-    const ExperimentConfig ec = bench::parseArgs(argc, argv);
+    const bench::BenchArgs args = bench::parseArgs(
+        argc, argv, "table4_storage",
+        "Table 4: predictor storage overhead at depths 1 and 4");
+
+    SweepRunner sweep(bench::sweepOptions(args));
+    for (const AppInfo &info : appSuite()) {
+        sweep.addAccuracy(info.name, 1, args.ec);
+        sweep.addAccuracy(info.name, 4, args.ec);
+    }
+    const auto &recs = sweep.results();
 
     std::printf("Table 4: storage overhead (pte = avg pattern-table "
                 "entries/block;\novh = bytes/block at d=1)\n\n");
     Table t({"app", "Cos pte d1", "pte d4", "ovh", "MSP pte d1",
              "pte d4", "ovh", "VMSP pte d1", "pte d4", "ovh"});
+    std::size_t i = 0;
     for (const AppInfo &info : appSuite()) {
-        const RunResult d1 = runAccuracy(info.name, 1, ec);
-        const RunResult d4 = runAccuracy(info.name, 4, ec);
+        const RunResult &d1 = recs[i++].result;
+        const RunResult &d4 = recs[i++].result;
         std::vector<std::string> row{info.name};
         for (int k = 0; k < 3; ++k) {
             row.push_back(Table::fmt(d1.observers[k].storage.avgPte, 1));
@@ -39,5 +49,5 @@ main(int argc, char **argv)
         t.addRow(row);
     }
     t.print(std::cout);
-    return 0;
+    return bench::finishSweep(sweep, args, "table4_storage");
 }

@@ -23,7 +23,16 @@ using namespace mspdsm;
 int
 main(int argc, char **argv)
 {
-    const ExperimentConfig ec = bench::parseArgs(argc, argv);
+    const bench::BenchArgs args = bench::parseArgs(
+        argc, argv, "table5_speculation",
+        "Table 5: requests, speculations and misspeculations");
+
+    SweepRunner sweep(bench::sweepOptions(args));
+    for (const AppInfo &info : appSuite())
+        for (SpecMode m : {SpecMode::None, SpecMode::FirstRead,
+                           SpecMode::SwiFirstRead})
+            sweep.addSpec(info.name, m, args.ec);
+    const auto &recs = sweep.results();
 
     std::printf("Table 5: requests, speculations and misspeculations\n"
                 "(reads/writes in thousands from Base-DSM; "
@@ -31,12 +40,11 @@ main(int argc, char **argv)
     Table t({"app", "reads K", "writes K", "FR-DSM rd sent", "miss",
              "SWI-DSM FR rd", "miss", "SWI rd", "miss", "winv sent",
              "winv miss"});
+    std::size_t i = 0;
     for (const AppInfo &info : appSuite()) {
-        const RunResult base = runSpec(info.name, SpecMode::None, ec);
-        const RunResult fr =
-            runSpec(info.name, SpecMode::FirstRead, ec);
-        const RunResult swi =
-            runSpec(info.name, SpecMode::SwiFirstRead, ec);
+        const RunResult &base = recs[i++].result;
+        const RunResult &fr = recs[i++].result;
+        const RunResult &swi = recs[i++].result;
 
         const double rk = static_cast<double>(base.reads);
         const double wk = static_cast<double>(base.writes);
@@ -52,5 +60,5 @@ main(int argc, char **argv)
                   Table::fmtPct(pct(swi.swiPremature, swi.writes))});
     }
     t.print(std::cout);
-    return 0;
+    return bench::finishSweep(sweep, args, "table5_speculation");
 }

@@ -183,11 +183,11 @@ Directory::handle(const CohMsg &msg)
             prematureCheck(msg);
             // A request from a node holding an unverified speculative
             // copy verifies it in place (e.g. a migratory upgrade).
-            if (e.specSent.contains(msg.src))
+            if (e.cold && e.cold->specSent.contains(msg.src))
                 verifyCopy(e, msg.blk, msg);
         }
-        if (!e.deferred.empty() || !canProcess(e, msg.type)) {
-            e.deferred.push_back(msg);
+        if (e.hasDeferred() || !canProcess(e, msg.type)) {
+            cold(e).deferred.push_back(msg);
             return;
         }
         processRequest(e, msg);
@@ -349,7 +349,7 @@ Directory::onInvAck(Entry &e, const CohMsg &msg)
 {
     panic_if(e.state != DirState::BusyInval,
              "InvAck outside invalidation: ", msg.toString());
-    if (specEnabled() && e.specSent.contains(msg.src))
+    if (specEnabled() && e.cold && e.cold->specSent.contains(msg.src))
         verifyCopy(e, msg.blk, msg);
     panic_if(e.pendingAcks <= 0, "stray InvAck: ", msg.toString());
     if (--e.pendingAcks == 0) {
@@ -416,15 +416,18 @@ Directory::drain(BlockId blk)
 {
     // The entry reference must be re-fetched each iteration:
     // processing can insert new entries (never for this block, but
-    // the map may rehash through speculation on other blocks).
+    // the map may rehash through speculation on other blocks). The
+    // cold record's address is arena-stable, but fetch it through the
+    // current entry anyway.
     while (true) {
         Entry &e = entry(blk);
-        if (e.deferred.empty() ||
-            !canProcess(e, e.deferred.front().type)) {
+        ColdEntry *c = e.cold;
+        if (!c || c->deferred.empty() ||
+            !canProcess(e, c->deferred.front().type)) {
             return;
         }
-        CohMsg m = e.deferred.front();
-        e.deferred.pop_front();
+        CohMsg m = c->deferred.front();
+        c->deferred.pop_front();
         processRequest(e, m);
     }
 }
@@ -436,26 +439,31 @@ Directory::writeCompleted(BlockId blk, NodeId writer)
 {
     Entry &e = entry(blk);
 
-    // Deferred SWI verdict (see prematureCheck): the ex-owner wrote
-    // again; if nobody used the early-forwarded data in the meantime,
-    // the invalidation fired too early.
-    if (e.swiVerdictPending && e.swiWriteKeyValid && vmsp_) {
-        if (!e.specAnyUsed)
-            markPremature(e, blk);
-    }
-    if (e.swiBackoff > 0)
-        --e.swiBackoff;
+    // A block with no cold record never deferred or speculated:
+    // nothing to judge, nothing to reset.
+    if (ColdEntry *c = e.cold) {
+        // Deferred SWI verdict (see prematureCheck): the ex-owner
+        // wrote again; if nobody used the early-forwarded data in the
+        // meantime, the invalidation fired too early.
+        if (c->swiVerdictPending && c->swiWriteKeyValid && vmsp_) {
+            if (!c->specAnyUsed)
+                markPremature(e, blk);
+        }
+        if (c->swiBackoff > 0)
+            --c->swiBackoff;
 
-    // A completed write closes both the read phase and any SWI epoch.
-    e.phaseTriggered = false;
-    e.phaseTrig = SpecTrigger::None;
-    e.specKeyValid = false;
-    e.misspecPenalized = false;
-    e.swiEpoch = false;
-    e.swiExOwner = invalidNode;
-    e.swiVerdictPending = false;
-    e.specAnyUsed = false;
-    e.swiWriteKeyValid = false;
+        // A completed write closes both the read phase and any SWI
+        // epoch.
+        c->phaseTriggered = false;
+        c->phaseTrig = SpecTrigger::None;
+        c->specKeyValid = false;
+        c->misspecPenalized = false;
+        c->swiEpoch = false;
+        c->swiExOwner = invalidNode;
+        c->swiVerdictPending = false;
+        c->specAnyUsed = false;
+        c->swiWriteKeyValid = false;
+    }
 
     if (!specEnabled() || mode_ != SpecMode::SwiFirstRead)
         return;
@@ -471,13 +479,13 @@ Directory::trySwi(BlockId blk, NodeId writer)
         return;
     Entry &e = it->second;
     if (e.state != DirState::Excl || e.owner != writer ||
-        !e.deferred.empty()) {
+        e.hasDeferred()) {
         return;
     }
     auto wk = vmsp_->lastWriteKey(blk);
     if (!wk)
         return;
-    if (vmsp_->isPremature(blk, *wk) || e.swiBackoff > 0) {
+    if (vmsp_->isPremature(blk, *wk) || coldView(e).swiBackoff > 0) {
         specStats_.swiSuppressed.inc();
         return;
     }
@@ -485,11 +493,12 @@ Directory::trySwi(BlockId blk, NodeId writer)
     e.state = DirState::BusyRecall;
     e.curIsSwi = true;
     e.curReq = writer;
-    e.swiExOwner = writer; // premature checks start at launch
-    e.swiWriteKey = *wk;
-    e.swiWriteKeyValid = true;
-    e.swiVerdictPending = false;
-    e.specAnyUsed = false;
+    ColdEntry &c = cold(e);
+    c.swiExOwner = writer; // premature checks start at launch
+    c.swiWriteKey = *wk;
+    c.swiWriteKeyValid = true;
+    c.swiVerdictPending = false;
+    c.specAnyUsed = false;
     specStats_.swiSent.inc();
 
     CohMsg recall;
@@ -507,7 +516,7 @@ Directory::completeSwi(Entry &e, BlockId blk)
     specStats_.swiCompleted.inc();
     e.curIsSwi = false;
     e.state = DirState::Idle;
-    e.swiEpoch = true; // swiExOwner was set at launch
+    cold(e).swiEpoch = true; // swiExOwner was set at launch
 
     // Trigger the predicted read sequence (Section 4.1): forward the
     // block to every predicted consumer.
@@ -524,7 +533,7 @@ Directory::completeSwi(Entry &e, BlockId blk)
 void
 Directory::frCheck(Entry &e, BlockId blk, NodeId reader)
 {
-    if (e.phaseTriggered)
+    if (coldView(e).phaseTriggered)
         return;
     auto readers = vmsp_->predictedReaders(blk);
     if (!readers)
@@ -544,12 +553,13 @@ void
 Directory::pushSpec(Entry &e, BlockId blk, NodeSet targets,
                     SpecTrigger trig, const HistoryKey &key, Tick delay)
 {
-    e.phaseTriggered = true;
-    e.phaseTrig = trig;
-    e.specKey = key;
-    e.specKeyValid = true;
-    e.misspecPenalized = false;
-    e.specSent = e.specSent | targets;
+    ColdEntry &c = cold(e);
+    c.phaseTriggered = true;
+    c.phaseTrig = trig;
+    c.specKey = key;
+    c.specKeyValid = true;
+    c.misspecPenalized = false;
+    c.specSent = c.specSent | targets;
     e.sharers = e.sharers | targets;
 
     for (NodeId t : targets.toVector()) {
@@ -573,30 +583,33 @@ Directory::prematureCheck(const CohMsg &msg)
     Entry &e = entry(msg.blk);
     // curIsSwi covers the whole SWI transaction (recall in flight and
     // the writeback-absorption window); swiEpoch the time after it.
-    const bool in_epoch = e.swiEpoch || e.curIsSwi;
+    // Either way the SWI launch (trySwi) created the cold record.
+    ColdEntry *c = e.cold;
+    const bool in_epoch = (c && c->swiEpoch) || e.curIsSwi;
     if (!in_epoch)
         return;
+    panic_if(!c, "SWI epoch without a cold record for ", msg.blk);
 
-    if (msg.src != e.swiExOwner) {
+    if (msg.src != c->swiExOwner) {
         // Another processor demanded the block after the early
         // invalidation: the producer really was done. Any such
         // consumer progress vouches for the SWI.
         if (msg.type == MsgType::GetS)
-            e.specAnyUsed = true;
+            c->specAnyUsed = true;
         return;
     }
-    if (!e.swiWriteKeyValid)
+    if (!c->swiWriteKeyValid)
         return;
 
-    if (msg.type == MsgType::GetS && !e.specSent.contains(msg.src) &&
-        !e.specAnyUsed) {
+    if (msg.type == MsgType::GetS && !c->specSent.contains(msg.src) &&
+        !c->specAnyUsed) {
         // The producer was still reading its own block (e.g.
         // moldyn's producer/consumer phase) and SWI robbed it before
         // any consumer benefited. If a consumer already took the
         // early-forwarded data, the same read is just the producer
         // rejoining the read phase (tomcatv's two-reader pattern).
         markPremature(e, msg.blk);
-        e.swiEpoch = false;
+        c->swiEpoch = false;
         return;
     }
 
@@ -608,7 +621,7 @@ Directory::prematureCheck(const CohMsg &msg)
         // the invalidation acknowledgements collected by this very
         // write carry that information, so the verdict is made when
         // the write transaction completes (writeCompleted).
-        e.swiVerdictPending = true;
+        c->swiVerdictPending = true;
     }
 }
 
@@ -616,27 +629,33 @@ void
 Directory::markPremature(Entry &e, BlockId blk)
 {
     specStats_.swiPremature.inc();
+    ColdEntry &c = cold(e);
     // Flag the entry the invalidation was launched from, the entry
     // of the latest write (the vector in front of the write may have
     // shifted since launch), and back the block off while the
     // pattern re-stabilizes.
-    if (e.swiWriteKeyValid)
-        vmsp_->setPremature(blk, e.swiWriteKey);
+    if (c.swiWriteKeyValid)
+        vmsp_->setPremature(blk, c.swiWriteKey);
     if (auto wk = vmsp_->lastWriteKey(blk))
         vmsp_->setPremature(blk, *wk);
     // Back the block off for a substantial number of writes and
     // escalate on repeat offenders: a block whose pattern keeps
     // flapping around premature invalidations ends up backed off for
     // (nearly) the rest of the run.
-    const unsigned shift = std::min(e.swiPrematureCount, 4u);
-    e.swiBackoff = 8u << shift;
-    ++e.swiPrematureCount;
+    const unsigned shift = std::min(c.swiPrematureCount, 4u);
+    c.swiBackoff = 8u << shift;
+    ++c.swiPrematureCount;
 }
 
 void
 Directory::verifyCopy(Entry &e, BlockId blk, const CohMsg &msg)
 {
-    e.specSent.remove(msg.src);
+    // Only reached when specSent contains the source, so the cold
+    // record exists; allocating a default one here would silently
+    // mis-count the verification, so fail loudly instead.
+    panic_if(!e.cold, "verifyCopy without a cold record for ", blk);
+    ColdEntry &c = *e.cold;
+    c.specSent.remove(msg.src);
 
     if (msg.type == MsgType::GetS) {
         // The push raced the consumer's own demand read and was
@@ -646,13 +665,13 @@ Directory::verifyCopy(Entry &e, BlockId blk, const CohMsg &msg)
     }
 
     const bool referenced = msg.copyReferenced;
-    const bool from_fr = e.phaseTrig == SpecTrigger::FirstRead;
+    const bool from_fr = c.phaseTrig == SpecTrigger::FirstRead;
     if (referenced) {
         // Consumer progress vouches for a pending SWI verdict -- but
         // only *other* processors count: the ex-owner referencing its
         // own bounced-back copy just proves it was robbed.
-        if (msg.src != e.swiExOwner)
-            e.specAnyUsed = true;
+        if (msg.src != c.swiExOwner)
+            c.specAnyUsed = true;
         // A speculatively served read never appears as a request
         // message; credit it into the open reader vector so the
         // pattern that speculation just verified stays learned.
@@ -662,10 +681,10 @@ Directory::verifyCopy(Entry &e, BlockId blk, const CohMsg &msg)
         return;
     }
     (from_fr ? specStats_.specMissFr : specStats_.specMissSwi).inc();
-    if (e.specKeyValid && !e.misspecPenalized) {
+    if (c.specKeyValid && !c.misspecPenalized) {
         // Remove the misspeculated request sequence (Section 4.2).
-        vmsp_->eraseEntry(blk, e.specKey);
-        e.misspecPenalized = true;
+        vmsp_->eraseEntry(blk, c.specKey);
+        c.misspecPenalized = true;
     }
 }
 

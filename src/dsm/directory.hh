@@ -29,6 +29,7 @@
 #include <deque>
 
 #include "base/bitvector.hh"
+#include "base/chunked_vector.hh"
 #include "base/flat_map.hh"
 #include "base/types.hh"
 #include "net/network.hh"
@@ -104,22 +105,15 @@ class Directory
     NodeId ownerOf(BlockId blk) const;
 
   private:
-    struct Entry
+    /**
+     * Cold half of a directory entry, arena-allocated on first use
+     * (see Entry). Holds the deferral queue and the speculation/SWI
+     * bookkeeping -- state the coherence FSM does not touch while a
+     * block cycles through its steady-state Idle/Shared/Excl
+     * transitions.
+     */
+    struct ColdEntry
     {
-        DirState state = DirState::Idle;
-        NodeSet sharers;
-        NodeId owner = invalidNode;
-
-        // In-flight transaction.
-        MsgType curType = MsgType::GetS;
-        NodeId curReq = invalidNode;
-        bool curUpgradeGrant = false;
-        bool curIsSwi = false;
-        bool curRemote = false; //!< transaction touched other nodes
-        SymKind curWriteSym = SymKind::Write; //!< as the requester
-                                              //!< sent it (GetX/Upg)
-        int pendingAcks = 0;
-        int repliesInFlight = 0; //!< read replies being serviced
         std::deque<CohMsg> deferred;
 
         // Read-phase speculation state.
@@ -150,6 +144,47 @@ class Directory
         unsigned swiBackoff = 0;
         unsigned swiPrematureCount = 0; //!< escalates the backoff
     };
+
+    /**
+     * Hot half of a directory entry: exactly the fields busy() /
+     * canProcess() / the protocol handlers walk on every message.
+     * This is the FlatMap slot the FSM probes, so it stays small
+     * (~5x under the former monolithic entry, which dragged two
+     * deque headers and two HistoryKeys through cache per probe);
+     * everything else hangs off the arena-allocated cold record,
+     * attached the first time a block defers a request or
+     * participates in speculation.
+     */
+    struct Entry
+    {
+        NodeSet sharers;
+        ColdEntry *cold = nullptr;
+        int pendingAcks = 0;
+        int repliesInFlight = 0; //!< read replies being serviced
+        NodeId owner = invalidNode;
+        NodeId curReq = invalidNode;
+        DirState state = DirState::Idle;
+
+        // In-flight transaction.
+        MsgType curType = MsgType::GetS;
+        bool curUpgradeGrant = false;
+        bool curIsSwi = false;
+        bool curRemote = false; //!< transaction touched other nodes
+        SymKind curWriteSym = SymKind::Write; //!< as the requester
+                                              //!< sent it (GetX/Upg)
+
+        /** Deferred requests pending (checked on every message). */
+        bool
+        hasDeferred() const
+        {
+            return cold && !cold->deferred.empty();
+        }
+    };
+
+    static_assert(sizeof(Entry) <= 48,
+                  "hot directory entry must stay a fraction of a "
+                  "cache line; move rarely-touched state to ColdEntry");
+
 
     /**
      * One pending directory action, pooled and reused so the protocol
@@ -198,6 +233,31 @@ class Directory
     void wbGetSFired(BlockId blk);
 
     Entry &entry(BlockId blk) { return entries_[blk]; }
+
+    /**
+     * The entry's cold record, created on first use. Cold records
+     * live in an arena with stable addresses, so the pointer survives
+     * FlatMap rehashes (which copy the hot entry by value).
+     */
+    ColdEntry &
+    cold(Entry &e)
+    {
+        if (!e.cold)
+            e.cold = &coldArena_.emplace_back();
+        return *e.cold;
+    }
+
+    /**
+     * Read-only view of the cold record for paths that must not
+     * allocate one: a block that never deferred or speculated reads
+     * the shared all-defaults instance.
+     */
+    static const ColdEntry &
+    coldView(const Entry &e)
+    {
+        static const ColdEntry defaults;
+        return e.cold ? *e.cold : defaults;
+    }
 
     static bool
     busy(const Entry &e)
@@ -298,6 +358,8 @@ class Directory
     SwiTable swiTable_;
     EventPool<DirEvent> pool_;
     FlatMap<BlockId, Entry> entries_;
+    //! Cold records, attached on demand; addresses are stable.
+    ChunkedVector<ColdEntry> coldArena_;
     DirStats stats_;
     SpecStats specStats_;
 };

@@ -1,0 +1,220 @@
+#include "harness/sweep.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <ostream>
+#include <utility>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "base/thread_pool.hh"
+
+namespace mspdsm
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Execute one job, timing it on its worker. */
+SweepRecord
+executeJob(const std::string &label, const std::string &app,
+           const std::string &kind,
+           const std::function<RunResult()> &run)
+{
+    SweepRecord rec;
+    rec.label = label;
+    rec.app = app;
+    rec.kind = kind;
+    const auto t0 = Clock::now();
+    rec.result = run();
+    rec.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    return rec;
+}
+
+/** Minimal JSON string escape (labels are plain but be safe). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+const char *
+statusName(RunStatus s)
+{
+    return s == RunStatus::Completed ? "completed" : "tick_limit";
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(const SweepOptions &opts) : opts_(opts)
+{
+    if (opts_.jobs == 0)
+        opts_.jobs = ThreadPool::defaultThreads();
+}
+
+std::size_t
+SweepRunner::add(std::string label, std::function<RunResult()> run)
+{
+    panic_if(ran_, "SweepRunner::add after results()");
+    Job j;
+    j.label = std::move(label);
+    j.kind = "custom";
+    j.run = std::move(run);
+    jobs_.push_back(std::move(j));
+    return jobs_.size() - 1;
+}
+
+std::size_t
+SweepRunner::addAccuracy(const std::string &app, std::size_t depth,
+                         const ExperimentConfig &ec)
+{
+    panic_if(ran_, "SweepRunner::add after results()");
+    Job j;
+    j.label = app + " acc d=" + std::to_string(depth);
+    j.app = app;
+    j.kind = "accuracy";
+    // Capture by value: the job owns its full configuration, so the
+    // run is seeded identically no matter which worker executes it.
+    j.run = [app, depth, ec] { return runAccuracy(app, depth, ec); };
+    jobs_.push_back(std::move(j));
+    return jobs_.size() - 1;
+}
+
+std::size_t
+SweepRunner::addSpec(const std::string &app, SpecMode mode,
+                     const ExperimentConfig &ec)
+{
+    panic_if(ran_, "SweepRunner::add after results()");
+    Job j;
+    j.label = app + " " + specModeName(mode);
+    j.app = app;
+    j.kind = "spec";
+    j.run = [app, mode, ec] { return runSpec(app, mode, ec); };
+    jobs_.push_back(std::move(j));
+    return jobs_.size() - 1;
+}
+
+const std::vector<SweepRecord> &
+SweepRunner::results()
+{
+    if (ran_)
+        return records_;
+    ran_ = true;
+
+    const auto t0 = Clock::now();
+    records_.reserve(jobs_.size());
+    if (opts_.jobs <= 1 || jobs_.size() <= 1) {
+        for (const Job &j : jobs_)
+            records_.push_back(executeJob(j.label, j.app, j.kind, j.run));
+    } else {
+        ThreadPool pool(opts_.jobs);
+        std::vector<std::future<SweepRecord>> futs;
+        futs.reserve(jobs_.size());
+        for (const Job &j : jobs_) {
+            futs.push_back(pool.submit([&j] {
+                return executeJob(j.label, j.app, j.kind, j.run);
+            }));
+        }
+        // Gather in submission order regardless of completion order.
+        for (std::future<SweepRecord> &f : futs)
+            records_.push_back(f.get());
+    }
+    wallSeconds_ = std::chrono::duration<double>(Clock::now() - t0).count();
+    jobs_.clear();
+    return records_;
+}
+
+std::size_t
+SweepRunner::guardTrips()
+{
+    std::size_t n = 0;
+    for (const SweepRecord &r : results())
+        if (!r.result.completed())
+            ++n;
+    return n;
+}
+
+void
+SweepRunner::printSummary(std::ostream &os)
+{
+    results();
+    // No wall-time columns here: bench stdout must be byte-identical
+    // across repeated runs (the repo's determinism invariant); the
+    // per-run and sweep timings live in the JSON record instead.
+    Table t({"run", "kind", "status", "ticks", "msgs"});
+    for (const SweepRecord &r : records_) {
+        t.addRow({r.label, r.kind,
+                  r.result.completed() ? "ok" : "TICK-LIMIT",
+                  Table::fmt(r.result.execTicks),
+                  Table::fmt(r.result.messages)});
+    }
+    t.print(os);
+}
+
+void
+SweepRunner::writeJson(std::ostream &os, const std::string &tool)
+{
+    results();
+    os << "{\n  \"schema\": \"mspdsm-sweep-v1\",\n";
+    os << "  \"tool\": \"" << jsonEscape(tool) << "\",\n";
+    os << "  \"jobs\": " << opts_.jobs << ",\n";
+    os << "  \"wall_seconds\": " << wallSeconds_ << ",\n";
+    os << "  \"guard_trips\": " << guardTrips() << ",\n";
+    os << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const SweepRecord &r = records_[i];
+        const RunResult &res = r.result;
+        os << "    {\"label\": \"" << jsonEscape(r.label)
+           << "\", \"app\": \"" << jsonEscape(r.app)
+           << "\", \"kind\": \"" << r.kind
+           << "\", \"status\": \"" << statusName(res.status)
+           << "\", \"tick_limit\": "
+           << (res.completed() ? "false" : "true")
+           << ", \"exec_ticks\": " << res.execTicks
+           << ", \"messages\": " << res.messages
+           << ", \"reads\": " << res.reads
+           << ", \"writes\": " << res.writes
+           << ", \"seconds\": " << r.seconds << "}"
+           << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+bool
+SweepRunner::writeJsonFile(const std::string &path,
+                           const std::string &tool)
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    writeJson(f, tool);
+    return true;
+}
+
+} // namespace mspdsm
