@@ -120,7 +120,39 @@ class NodeSet
 
     bool operator==(const NodeSet &o) const = default;
 
-    /** Members in ascending order. */
+    /**
+     * Allocation-free member iteration in ascending order (the
+     * protocol fans invalidations/pushes out per delivered message,
+     * so this must not build a std::vector).
+     */
+    class Iterator
+    {
+      public:
+        explicit Iterator(std::uint64_t bits) : bits_(bits) {}
+
+        NodeId
+        operator*() const
+        {
+            return static_cast<NodeId>(std::countr_zero(bits_));
+        }
+
+        Iterator &
+        operator++()
+        {
+            bits_ &= bits_ - 1; // clear the lowest set bit
+            return *this;
+        }
+
+        bool operator==(const Iterator &o) const = default;
+
+      private:
+        std::uint64_t bits_;
+    };
+
+    Iterator begin() const { return Iterator(bits_); }
+    Iterator end() const { return Iterator(0); }
+
+    /** Members in ascending order (tests/diagnostics; allocates). */
     std::vector<NodeId> toVector() const;
 
     /** Render as e.g. "{1,4,7}" for diagnostics. */

@@ -258,7 +258,7 @@ class FlatMap
         if (tomb != npos) {
             i = tomb;
             --tombs_;
-        } else if ((size_ + tombs_ + 1) * 8 >= cap_ * 7) {
+        } else if (needsGrowth(1)) {
             // No tombstone to reuse and the table is getting full:
             // grow (or purge) first, then take the fresh probe path.
             rehash(size_ * 2 >= cap_ ? cap_ * 2 : cap_);
@@ -312,6 +312,31 @@ class FlatMap
             want <<= 1;
         if (want > cap_)
             rehash(want);
+    }
+
+    /**
+     * True iff inserting @p extra more entries would trigger a grow
+     * or purge inside try_emplace (the same 7/8 threshold the insert
+     * path itself applies).
+     */
+    bool
+    needsGrowth(std::size_t extra) const
+    {
+        return (size_ + tombs_ + extra) * 8 >= cap_ * 7;
+    }
+
+    /**
+     * Batched growth for callers that insert in groups (predictor
+     * first-touch paths): when the next insert would grow the table,
+     * reserve room for @p group more entries up front instead, so
+     * the insert itself is a single probe pass with no mid-insert
+     * rehash.
+     */
+    void
+    reserveGrouped(std::size_t group)
+    {
+        if (needsGrowth(1))
+            reserve(size_ + group);
     }
 
   private:

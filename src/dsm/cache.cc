@@ -21,7 +21,7 @@ CacheCtrl::hasUnreferencedSpec(BlockId blk) const
 }
 
 void
-CacheCtrl::completeHit(Line &l, Done done)
+CacheCtrl::completeHit(Line &l, MemCompletion &done)
 {
     // First touch of a remote-cache resident block (including every
     // speculatively pushed copy) costs a local access; afterwards the
@@ -31,16 +31,16 @@ CacheCtrl::completeHit(Line &l, Done done)
     l.referenced = true;
     panic_if(hitEvent_.scheduled(),
              "cache ", id_, ": overlapping hit completions");
-    hitDone_ = std::move(done);
+    hitDone_ = &done;
     eq_.scheduleAfter(lat, hitEvent_);
 }
 
 void
 CacheCtrl::hitDone()
 {
-    Done done = std::move(hitDone_);
+    MemCompletion *done = hitDone_;
     hitDone_ = nullptr;
-    done(false);
+    done->complete(false);
 }
 
 void
@@ -49,7 +49,7 @@ CacheCtrl::sendRequest(MsgType t, BlockId blk, const Line &l)
     CohMsg m;
     m.type = t;
     m.src = id_;
-    m.dst = cfg_.homeOf(blk);
+    m.dst = map_.homeOf(blk);
     m.blk = blk;
     m.hadCopy = l.state != LineState::Invalid;
     m.copyWasSpec = l.spec;
@@ -58,10 +58,10 @@ CacheCtrl::sendRequest(MsgType t, BlockId blk, const Line &l)
 }
 
 void
-CacheCtrl::access(Addr addr, bool is_write, Done done)
+CacheCtrl::access(Addr addr, bool is_write, MemCompletion &done)
 {
     panic_if(mshr_.valid, "blocking processor issued a second miss");
-    const BlockId blk = cfg_.blockOf(addr);
+    const BlockId blk = map_.blockOf(addr);
     Line &l = line(blk);
 
     if (!is_write) {
@@ -75,7 +75,7 @@ CacheCtrl::access(Addr addr, bool is_write, Done done)
                 else if (l.trig == SpecTrigger::Swi)
                     stats_.specServedSwi.inc();
             }
-            completeHit(l, std::move(done));
+            completeHit(l, done);
             return;
         }
         stats_.demandReads.inc();
@@ -83,7 +83,7 @@ CacheCtrl::access(Addr addr, bool is_write, Done done)
         mshr_.blk = blk;
         mshr_.write = false;
         mshr_.invalidated = false;
-        mshr_.done = std::move(done);
+        mshr_.done = &done;
         sendRequest(MsgType::GetS, blk, l);
         return;
     }
@@ -91,7 +91,7 @@ CacheCtrl::access(Addr addr, bool is_write, Done done)
     // Write access.
     if (l.state == LineState::Modified) {
         stats_.writeHits.inc();
-        completeHit(l, std::move(done));
+        completeHit(l, done);
         return;
     }
     stats_.demandWrites.inc();
@@ -99,7 +99,7 @@ CacheCtrl::access(Addr addr, bool is_write, Done done)
     mshr_.blk = blk;
     mshr_.write = true;
     mshr_.invalidated = false;
-    mshr_.done = std::move(done);
+    mshr_.done = &done;
     if (l.state == LineState::Shared) {
         sendRequest(MsgType::Upgrade, blk, l);
     } else {
@@ -191,9 +191,9 @@ CacheCtrl::handle(const CohMsg &msg)
             l.referenced = true;
             l.inProcCache = true;
         }
-        Done done = std::move(mshr_.done);
+        MemCompletion *done = mshr_.done;
         mshr_ = Mshr{};
-        done(msg.remoteWork);
+        done->complete(msg.remoteWork);
         return;
       }
       default:

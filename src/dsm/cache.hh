@@ -15,8 +15,6 @@
 #ifndef MSPDSM_DSM_CACHE_HH
 #define MSPDSM_DSM_CACHE_HH
 
-#include <functional>
-
 #include "base/flat_map.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
@@ -34,6 +32,35 @@ enum class LineState : std::uint8_t
     Invalid,
     Shared,
     Modified,
+};
+
+/**
+ * Intrusive completion record for one processor-side access.
+ *
+ * The issuer embeds a MemCompletion (usually as the base of a larger
+ * record carrying its own context, e.g. the issue tick) and hands a
+ * reference to CacheCtrl::access(); the cache stores only the pointer
+ * and invokes complete() when the access finishes. Issuing and
+ * completing an access therefore allocates nothing and costs one
+ * direct call through a function pointer -- no std::function, no
+ * virtual dispatch.
+ *
+ * @param remote true iff the access waited on inter-node coherence
+ *        traffic (the paper's "request waiting time"); node-local
+ *        service counts as computation.
+ */
+class MemCompletion
+{
+  public:
+    using Fn = void (*)(MemCompletion &self, bool remote);
+
+    explicit constexpr MemCompletion(Fn fn) : fn_(fn) {}
+
+    /** Deliver the completion. */
+    void complete(bool remote) { fn_(*this, remote); }
+
+  private:
+    Fn fn_;
 };
 
 /** Cache-side statistics. */
@@ -54,24 +81,17 @@ struct CacheStats
 class CacheCtrl
 {
   public:
-    /**
-     * Completion callback for a processor access.
-     * @param remote true iff the access waited on inter-node
-     *               coherence traffic (the paper's "request waiting
-     *               time"); node-local service counts as computation.
-     */
-    using Done = std::function<void(bool remote)>;
-
     CacheCtrl(NodeId id, EventQueue &eq, Network &net,
               const ProtoConfig &cfg)
-        : id_(id), eq_(eq), net_(net), cfg_(cfg)
+        : id_(id), eq_(eq), net_(net), cfg_(cfg), map_(cfg)
     {}
 
     /**
      * Processor-side access. At most one outstanding miss (blocking
-     * in-order processor); @p done fires when the access completes.
+     * in-order processor); @p done fires when the access completes
+     * and must stay valid until then.
      */
-    void access(Addr addr, bool is_write, Done done);
+    void access(Addr addr, bool is_write, MemCompletion &done);
 
     /** Network-side handler for Inval/Recall/data/SpecData messages. */
     void handle(const CohMsg &msg);
@@ -101,7 +121,7 @@ class CacheCtrl
         BlockId blk = 0;
         bool write = false;
         bool invalidated = false; //!< Inval raced the in-flight fill
-        Done done;
+        MemCompletion *done = nullptr;
     };
 
     /**
@@ -118,10 +138,27 @@ class CacheCtrl
         CacheCtrl *cache;
     };
 
-    Line &line(BlockId blk) { return lines_[blk]; }
+    /**
+     * Find-or-create the block's line, memoizing the most recent
+     * block: a miss's fill, invalidation, and re-access all hit the
+     * same line back to back, so the repeat probe is the common case.
+     * The memo always holds the latest lookup, so a rehash (which
+     * happens inside this call and is followed by re-assigning the
+     * memo) can never leave it dangling.
+     */
+    Line &
+    line(BlockId blk)
+    {
+        if (memoLine_ && memoBlk_ == blk)
+            return *memoLine_;
+        Line &l = lines_[blk];
+        memoBlk_ = blk;
+        memoLine_ = &l;
+        return l;
+    }
 
     /** Complete a node-local hit with the given latency. */
-    void completeHit(Line &l, Done done);
+    void completeHit(Line &l, MemCompletion &done);
 
     /** HitEvent fired: deliver the stored completion. */
     void hitDone();
@@ -133,10 +170,13 @@ class CacheCtrl
     EventQueue &eq_;
     Network &net_;
     const ProtoConfig &cfg_;
+    AddrMap map_; //!< divide-free blockOf/homeOf snapshot of cfg_
     FlatMap<BlockId, Line> lines_;
+    BlockId memoBlk_ = 0;
+    Line *memoLine_ = nullptr;
     Mshr mshr_;
     HitEvent hitEvent_{this};
-    Done hitDone_;
+    MemCompletion *hitDone_ = nullptr;
     CacheStats stats_;
 };
 

@@ -11,7 +11,7 @@ Directory::Directory(NodeId id, EventQueue &eq, Network &net,
                      const ProtoConfig &cfg,
                      std::vector<PredictorBase *> observers, Vmsp *vmsp,
                      SpecMode mode)
-    : id_(id), eq_(eq), net_(net), cfg_(cfg),
+    : id_(id), eq_(eq), net_(net), cfg_(cfg), map_(cfg),
       observers_(std::move(observers)), vmsp_(vmsp), mode_(mode),
       swiTable_(cfg.numNodes)
 {
@@ -163,7 +163,7 @@ Directory::wbGetSFired(BlockId blk)
 void
 Directory::handle(const CohMsg &msg)
 {
-    panic_if(cfg_.homeOf(msg.blk) != id_,
+    panic_if(map_.homeOf(msg.blk) != id_,
              "message routed to wrong home: ", msg.toString());
     Entry &e = entry(msg.blk);
 
@@ -311,7 +311,7 @@ Directory::onWrite(Entry &e, const CohMsg &msg, bool upgrade_grant)
         }
         e.state = DirState::BusyInval;
         e.pendingAcks = others.count();
-        for (NodeId o : others.toVector()) {
+        for (NodeId o : others) {
             stats_.invals.inc();
             CohMsg inv;
             inv.type = MsgType::Inval;
@@ -562,7 +562,7 @@ Directory::pushSpec(Entry &e, BlockId blk, NodeSet targets,
     c.specSent = c.specSent | targets;
     e.sharers = e.sharers | targets;
 
-    for (NodeId t : targets.toVector()) {
+    for (NodeId t : targets) {
         if (trig == SpecTrigger::FirstRead)
             specStats_.specSentFr.inc();
         else

@@ -232,7 +232,24 @@ class Directory
     /** Writeback for a demand GetS absorbed: share to the requester. */
     void wbGetSFired(BlockId blk);
 
-    Entry &entry(BlockId blk) { return entries_[blk]; }
+    /**
+     * Find-or-create the block's entry, memoizing the most recent
+     * block: a transaction's request, acks, and grant all address the
+     * same entry back to back, so the repeat probe is the common
+     * case. The memo is re-assigned from the fresh lookup on every
+     * miss, so a rehash (which only ever happens inside this call)
+     * can never leave it dangling.
+     */
+    Entry &
+    entry(BlockId blk)
+    {
+        if (memoEntry_ && memoBlk_ == blk)
+            return *memoEntry_;
+        Entry &e = entries_[blk];
+        memoBlk_ = blk;
+        memoEntry_ = &e;
+        return e;
+    }
 
     /**
      * The entry's cold record, created on first use. Cold records
@@ -352,12 +369,15 @@ class Directory
     EventQueue &eq_;
     Network &net_;
     const ProtoConfig &cfg_;
+    AddrMap map_; //!< divide-free homeOf snapshot of cfg_
     std::vector<PredictorBase *> observers_;
     Vmsp *vmsp_;
     SpecMode mode_;
     SwiTable swiTable_;
     EventPool<DirEvent> pool_;
     FlatMap<BlockId, Entry> entries_;
+    BlockId memoBlk_ = 0;
+    Entry *memoEntry_ = nullptr;
     //! Cold records, attached on demand; addresses are stable.
     ChunkedVector<ColdEntry> coldArena_;
     DirStats stats_;

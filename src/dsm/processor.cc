@@ -38,15 +38,8 @@ Processor::step()
         return;
       case OpKind::Read:
       case OpKind::Write: {
-        const Tick issued = eq_.curTick();
-        cache_.access(op.addr, op.kind == OpKind::Write,
-                      [this, issued](bool remote) {
-            const Tick stall = eq_.curTick() - issued;
-            stats_.memWait += stall;
-            if (remote)
-                stats_.requestWait += stall;
-            step();
-        });
+        access_.issued = eq_.curTick();
+        cache_.access(op.addr, op.kind == OpKind::Write, access_);
         return;
       }
       case OpKind::Barrier:
@@ -54,6 +47,16 @@ Processor::step()
         return;
     }
     panic("unknown trace op kind");
+}
+
+void
+Processor::accessDone(AccessRecord &r, bool remote)
+{
+    const Tick stall = eq_.curTick() - r.issued;
+    stats_.memWait += stall;
+    if (remote)
+        stats_.requestWait += stall;
+    step();
 }
 
 } // namespace mspdsm

@@ -13,7 +13,6 @@
 #ifndef MSPDSM_DSM_PROCESSOR_HH
 #define MSPDSM_DSM_PROCESSOR_HH
 
-#include <functional>
 #include <vector>
 
 #include "base/types.hh"
@@ -72,6 +71,10 @@ struct ProcStats
  * The processor owns a single StepEvent: a blocking in-order core has
  * at most one pending continuation (compute-delay expiry or barrier
  * resume), so every reschedule reuses the same pre-allocated object.
+ * Likewise its outstanding-access table is a single embedded
+ * AccessRecord (the intrusive MemCompletion handed to the cache plus
+ * the issue tick), so a memory operation is issued and completed
+ * without allocating or copying a callback.
  */
 class Processor
 {
@@ -79,7 +82,7 @@ class Processor
     Processor(NodeId id, EventQueue &eq, CacheCtrl &cache,
               GlobalBarrier &barrier)
         : id_(id), eq_(eq), cache_(cache), barrier_(barrier),
-          stepEvent_(this)
+          stepEvent_(this), access_(this)
     {}
 
     /** Begin executing @p trace at the current tick. */
@@ -111,13 +114,39 @@ class Processor
         Processor *proc;
     };
 
+    /**
+     * The blocking core's one-entry outstanding-access table: the
+     * completion record the cache controller signals, carrying the
+     * issue tick the stall accounting needs.
+     */
+    struct AccessRecord final : public MemCompletion
+    {
+        explicit AccessRecord(Processor *p)
+            : MemCompletion(&AccessRecord::fired), proc(p)
+        {}
+
+        static void
+        fired(MemCompletion &self, bool remote)
+        {
+            auto &r = static_cast<AccessRecord &>(self);
+            r.proc->accessDone(r, remote);
+        }
+
+        Processor *proc;
+        Tick issued = 0;
+    };
+
     void step();
+
+    /** The cache completed the outstanding access. */
+    void accessDone(AccessRecord &r, bool remote);
 
     NodeId id_;
     EventQueue &eq_;
     CacheCtrl &cache_;
     GlobalBarrier &barrier_;
     StepEvent stepEvent_;
+    AccessRecord access_;
     const Trace *trace_ = nullptr;
     std::size_t pc_ = 0;
     bool done_ = false;

@@ -3,13 +3,15 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "dsm/cache.hh"
+#include "dsm/directory.hh"
 
 namespace mspdsm
 {
 
 Network::Network(EventQueue &eq, const ProtoConfig &cfg, Rng rng)
     : eq_(eq), cfg_(cfg), rng_(rng),
-      handlers_(cfg.numNodes),
+      sinks_(cfg.numNodes),
       egressFree_(cfg.numNodes, 0),
       ingressFree_(cfg.numNodes, 0),
       pairLast_(std::size_t{cfg.numNodes} * cfg.numNodes, 0)
@@ -17,10 +19,35 @@ Network::Network(EventQueue &eq, const ProtoConfig &cfg, Rng rng)
 }
 
 void
-Network::attach(NodeId n, Deliver handler)
+Network::attach(NodeId n, CacheCtrl &cache, Directory &dir)
 {
-    panic_if(n >= handlers_.size(), "attach: node ", n, " out of range");
-    handlers_[n] = std::move(handler);
+    panic_if(n >= sinks_.size(), "attach: node ", n, " out of range");
+    sinks_[n] = Sink{&cache, &dir, nullptr, nullptr};
+}
+
+void
+Network::attach(NodeId n, RawDeliver fn, void *ctx)
+{
+    panic_if(n >= sinks_.size(), "attach: node ", n, " out of range");
+    panic_if(!fn, "attach: null delivery hook for node ", n);
+    sinks_[n] = Sink{nullptr, nullptr, fn, ctx};
+}
+
+void
+Network::deliver(const CohMsg &msg)
+{
+    const Sink &s = sinks_[msg.dst];
+    if (s.cache) [[likely]] {
+        // A full node: route by message type. Requests and
+        // acknowledgements go to the home directory, commands and
+        // data responses to the cache controller.
+        if (routesToDirectory(msg.type))
+            s.dir->handle(msg);
+        else
+            s.cache->handle(msg);
+        return;
+    }
+    s.fn(s.ctx, msg);
 }
 
 void
@@ -28,8 +55,8 @@ Network::send(CohMsg msg)
 {
     panic_if(msg.src >= cfg_.numNodes || msg.dst >= cfg_.numNodes,
              "send: bad endpoints in ", msg.toString());
-    panic_if(!handlers_[msg.dst], "send: node ", msg.dst,
-             " has no handler");
+    panic_if(!sinks_[msg.dst].attached(), "send: node ", msg.dst,
+             " has no sink");
     sent_.inc();
 
     const Tick now = eq_.curTick();
@@ -97,7 +124,7 @@ Network::fired(NetEvent &e)
     // handler may send again and reuse this very slot.
     const CohMsg msg = e.msg;
     pool_.release(e);
-    handlers_[msg.dst](msg);
+    deliver(msg);
 }
 
 } // namespace mspdsm

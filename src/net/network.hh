@@ -18,7 +18,6 @@
 #ifndef MSPDSM_NET_NETWORK_HH
 #define MSPDSM_NET_NETWORK_HH
 
-#include <functional>
 #include <vector>
 
 #include "base/random.hh"
@@ -30,6 +29,9 @@
 namespace mspdsm
 {
 
+class CacheCtrl;
+class Directory;
+
 /**
  * The interconnect. Owns no protocol state; it only moves CohMsg
  * values between nodes with appropriate delays.
@@ -38,12 +40,19 @@ namespace mspdsm
  * NetEvents (one per in-flight message, reused), so the per-message
  * fast path performs no allocation: the same event object carries the
  * message through its ingress-arrival and delivery stages.
+ *
+ * Delivery is statically dispatched: a node attaches its concrete
+ * cache controller and home directory, and the network routes each
+ * delivered message by type (routesToDirectory()) with two direct
+ * calls resolved at link time -- no std::function, no virtual call.
+ * Tests and tools that are not a full node attach a raw function
+ * pointer plus context instead.
  */
 class Network
 {
   public:
-    /** Invoked at the delivery tick at the destination node. */
-    using Deliver = std::function<void(const CohMsg &)>;
+    /** Raw delivery hook (tests/tools): fn(ctx, msg) at delivery. */
+    using RawDeliver = void (*)(void *ctx, const CohMsg &msg);
 
     /**
      * @param eq event queue driving the simulation
@@ -53,10 +62,13 @@ class Network
     Network(EventQueue &eq, const ProtoConfig &cfg, Rng rng);
 
     /**
-     * Register the destination handler for node @p n. Must be called
-     * for every node before the first send.
+     * Attach node @p n's protocol agents. Every node must be attached
+     * (either overload) before the first send.
      */
-    void attach(NodeId n, Deliver handler);
+    void attach(NodeId n, CacheCtrl &cache, Directory &dir);
+
+    /** Attach a raw delivery hook for node @p n (tests/tools). */
+    void attach(NodeId n, RawDeliver fn, void *ctx);
 
     /** Inject @p msg at its source NI at the current tick. */
     void send(CohMsg msg);
@@ -68,6 +80,20 @@ class Network
     std::uint64_t queueingCycles() const { return queued_.value(); }
 
   private:
+    /**
+     * Per-node delivery sink: either a (cache, directory) pair routed
+     * by message type, or a raw hook. Resolved once at attach time.
+     */
+    struct Sink
+    {
+        CacheCtrl *cache = nullptr;
+        Directory *dir = nullptr;
+        RawDeliver fn = nullptr;
+        void *ctx = nullptr;
+
+        bool attached() const { return cache || fn; }
+    };
+
     /** One in-flight message: arrival at the ingress NI, delivery. */
     struct NetEvent final : public Event
     {
@@ -84,10 +110,13 @@ class Network
     /** Stage dispatch for a pooled NetEvent. */
     void fired(NetEvent &e);
 
+    /** Hand @p msg to its destination sink (defined in network.cc). */
+    void deliver(const CohMsg &msg);
+
     EventQueue &eq_;
     const ProtoConfig &cfg_;
     Rng rng_;
-    std::vector<Deliver> handlers_;
+    std::vector<Sink> sinks_;
     std::vector<Tick> egressFree_; //!< next free tick per source NI
     std::vector<Tick> ingressFree_; //!< next free tick per dest NI
     std::vector<Tick> pairLast_; //!< last arrival per (src,dst) pair

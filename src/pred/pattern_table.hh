@@ -30,6 +30,7 @@
 #define MSPDSM_PRED_PATTERN_TABLE_HH
 
 #include <optional>
+#include <type_traits>
 
 #include "base/flat_map.hh"
 #include "pred/history.hh"
@@ -42,15 +43,24 @@ namespace mspdsm
  * One pattern-table entry: the predicted successor of a history (in
  * Symbol::encode() form), plus the Speculative-Write-Invalidation
  * premature bit (Section 4.1).
+ *
+ * Deliberately trivial (no default member initializers): entries live
+ * in uninitialized inline storage inside every block record, and a
+ * cold block's first observation must not pay for constructing four
+ * of them. Creation sites value-initialize explicitly
+ * (PatternEntry{}).
  */
 struct PatternEntry
 {
-    std::uint64_t pred = 0; //!< encoded predicted symbol
-    bool premature = false; //!< SWI previously fired too early here
+    std::uint64_t pred;     //!< encoded predicted symbol
+    bool premature;         //!< SWI previously fired too early here
 
     /** Decoded prediction, for diagnostics and external consumers. */
     Symbol predSymbol() const { return Symbol::decode(pred); }
 };
+
+static_assert(std::is_trivial_v<PatternEntry>,
+              "PatternEntry lives in uninitialized inline storage");
 
 /**
  * Two-level prediction state for a single memory block.
@@ -199,12 +209,14 @@ class BlockPattern
         const std::size_t h = HistoryKeyHash{}(k);
         for (unsigned i = 0; i < inlineCount_; ++i) {
             if (inlineHash_[i] == static_cast<std::uint32_t>(h) &&
-                inlineKey_[i] == k) {
+                inlineKeyIs(i, k)) {
                 // Entries are unordered; fill the hole from the back.
                 const unsigned last = inlineCount_ - 1;
                 if (i != last) {
                     inlineHash_[i] = inlineHash_[last];
-                    inlineKey_[i] = inlineKey_[last];
+                    inlineUsed_[i] = inlineUsed_[last];
+                    for (unsigned j = 0; j < inlineUsed_[last]; ++j)
+                        inlineSlots_[i][j] = inlineSlots_[last][j];
                     inlineVal_[i] = inlineVal_[last];
                 }
                 --inlineCount_;
@@ -233,12 +245,24 @@ class BlockPattern
             static_cast<const BlockPattern *>(this)->findHashed(k, h));
     }
 
+    /** Compare inline key @p i against @p k (hashes already equal). */
+    bool
+    inlineKeyIs(unsigned i, const HistoryKey &k) const
+    {
+        if (inlineUsed_[i] != k.used)
+            return false;
+        for (std::uint8_t j = 0; j < k.used; ++j)
+            if (inlineSlots_[i][j] != k.slots[j])
+                return false;
+        return true;
+    }
+
     const PatternEntry *
     findHashed(const HistoryKey &k, std::size_t h) const
     {
         const auto h32 = static_cast<std::uint32_t>(h);
         for (unsigned i = 0; i < inlineCount_; ++i)
-            if (inlineHash_[i] == h32 && inlineKey_[i] == k)
+            if (inlineHash_[i] == h32 && inlineKeyIs(i, k))
                 return &inlineVal_[i];
         if (!spill_.empty()) {
             auto it = spill_.findHashed(k, h);
@@ -255,7 +279,9 @@ class BlockPattern
         if (inlineCount_ < inlineN) {
             const unsigned i = inlineCount_++;
             inlineHash_[i] = static_cast<std::uint32_t>(h);
-            inlineKey_[i] = k;
+            inlineUsed_[i] = k.used;
+            for (std::uint8_t j = 0; j < k.used; ++j)
+                inlineSlots_[i][j] = k.slots[j];
             inlineVal_[i] = PatternEntry{};
             return &inlineVal_[i];
         }
@@ -284,9 +310,21 @@ class BlockPattern
     std::size_t keyHash_ = 0; //!< HistoryKeyHash of key_
     std::uint8_t depth_;      //!< configured history depth
     std::uint8_t inlineCount_ = 0;
-    std::uint32_t inlineHash_[inlineN] = {};
-    HistoryKey inlineKey_[inlineN];
+
+    /**
+     * Inline-entry storage, kept deliberately *uninitialized* (only
+     * the first inlineCount_ rows are meaningful): a simulation
+     * allocates one block record per touched block, and eagerly
+     * value-constructing four keys and entries per record was the
+     * bulk of the first-touch cost the pred/observe_cold bench
+     * tracks. Keys are stored as raw (used, slots[]) rows rather
+     * than HistoryKey so nothing here runs a constructor.
+     */
+    std::uint32_t inlineHash_[inlineN];
+    std::uint8_t inlineUsed_[inlineN];
+    std::uint64_t inlineSlots_[inlineN][maxHistoryDepth];
     PatternEntry inlineVal_[inlineN];
+
     FlatMap<HistoryKey, PatternEntry, HistoryKeyHash> spill_;
 };
 

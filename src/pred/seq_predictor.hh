@@ -99,6 +99,10 @@ class SeqPredictor : public PredictorBase
     {
         if (memoBp_ && memoBlk_ == blk)
             return *memoBp_;
+        // Group reservation: grow the index an arena chunk at a time,
+        // *before* the insert, so a cold block's first observation is
+        // one probe pass with no mid-insert rehash.
+        index_.reserveGrouped(blockGroup);
         auto [it, fresh] = index_.try_emplace(blk, nullptr);
         if (fresh)
             it->second = &store_.emplace_back(depth_);
@@ -115,8 +119,11 @@ class SeqPredictor : public PredictorBase
         return it == index_.end() ? nullptr : it->second;
     }
 
+    /** Index growth granularity; matches the arena chunk size. */
+    static constexpr std::size_t blockGroup = 64;
+
     FlatMap<BlockId, BlockPattern *> index_; //!< blk -> arena record
-    ChunkedVector<BlockPattern> store_;
+    ChunkedVector<BlockPattern, blockGroup> store_;
     std::uint64_t pteTotal_ = 0; //!< entries across all blocks
     BlockId memoBlk_ = 0;
     BlockPattern *memoBp_ = nullptr;

@@ -173,6 +173,10 @@ class Vmsp final : public PredictorBase
     {
         if (memoSt_ && memoBlk_ == blk)
             return *memoSt_;
+        // Group reservation, as in SeqPredictor::blockState: grow the
+        // index an arena chunk at a time before the insert so a cold
+        // block's first observation is a single probe pass.
+        index_.reserveGrouped(blockGroup);
         auto [it, fresh] = index_.try_emplace(blk, nullptr);
         if (fresh)
             it->second = &store_.emplace_back(depth_);
@@ -181,8 +185,11 @@ class Vmsp final : public PredictorBase
         return *memoSt_;
     }
 
+    /** Index growth granularity; matches the arena chunk size. */
+    static constexpr std::size_t blockGroup = 64;
+
     FlatMap<BlockId, BlockState *> index_; //!< blk -> arena record
-    ChunkedVector<BlockState> store_;
+    ChunkedVector<BlockState, blockGroup> store_;
     std::uint64_t pteTotal_ = 0; //!< entries across all blocks,
                                  //!< maintained incrementally
     BlockId memoBlk_ = 0;

@@ -26,6 +26,7 @@
 #ifndef MSPDSM_PROTO_CONFIG_HH
 #define MSPDSM_PROTO_CONFIG_HH
 
+#include <bit>
 #include <cstdint>
 
 #include "base/types.hh"
@@ -97,6 +98,59 @@ struct ProtoConfig
     {
         return a / blockSize;
     }
+};
+
+/**
+ * Address-to-block and block-to-home mapping with the divisions
+ * folded at construction. ProtoConfig::homeOf() costs three integer
+ * divides; the cache controller and directory evaluate the mapping
+ * once or twice per simulated message, so they snapshot it into an
+ * AddrMap (power-of-two geometries -- every configuration the paper
+ * uses -- reduce to shifts and masks). Equivalent to the ProtoConfig
+ * methods for any geometry.
+ */
+class AddrMap
+{
+  public:
+    explicit AddrMap(const ProtoConfig &cfg)
+        : blockSize_(cfg.blockSize), bpp_(cfg.blocksPerPage()),
+          nodes_(cfg.numNodes),
+          blockShift_(static_cast<std::uint8_t>(
+              std::countr_zero(cfg.blockSize))),
+          bppShift_(static_cast<std::uint8_t>(
+              std::countr_zero(cfg.blocksPerPage()))),
+          nodesMask_(cfg.numNodes - 1),
+          blockPow2_(std::has_single_bit(cfg.blockSize)),
+          bppPow2_(std::has_single_bit(cfg.blocksPerPage())),
+          nodesPow2_(std::has_single_bit(cfg.numNodes))
+    {}
+
+    /** Block id containing a byte address (== ProtoConfig::blockOf). */
+    BlockId
+    blockOf(Addr a) const
+    {
+        return blockPow2_ ? a >> blockShift_ : a / blockSize_;
+    }
+
+    /** Home node of a block (== ProtoConfig::homeOf). */
+    NodeId
+    homeOf(BlockId blk) const
+    {
+        const BlockId page = bppPow2_ ? blk >> bppShift_ : blk / bpp_;
+        return static_cast<NodeId>(nodesPow2_ ? page & nodesMask_
+                                              : page % nodes_);
+    }
+
+  private:
+    unsigned blockSize_;
+    unsigned bpp_;
+    unsigned nodes_;
+    std::uint8_t blockShift_;
+    std::uint8_t bppShift_;
+    unsigned nodesMask_;
+    bool blockPow2_;
+    bool bppPow2_;
+    bool nodesPow2_;
 };
 
 } // namespace mspdsm

@@ -61,15 +61,34 @@ enum class SpecTrigger : std::uint8_t
 };
 
 /**
+ * @return true for the message types a node's *home directory*
+ * handles (requests and acknowledgements); everything else is
+ * delivered to the node's cache controller. This is the static
+ * routing rule the network's delivery sink applies per message.
+ */
+constexpr bool
+routesToDirectory(MsgType t)
+{
+    return t == MsgType::GetS || t == MsgType::GetX ||
+           t == MsgType::Upgrade || t == MsgType::InvAck ||
+           t == MsgType::WriteBack;
+}
+
+/**
  * One coherence message. Plain value type; the network delivers
- * copies, never references.
+ * copies, never references. Copied per hop on the hot path, so the
+ * layout is kept to 16 bytes: the five boolean flags share a single
+ * byte of bitfields.
  */
 struct CohMsg
 {
     MsgType type = MsgType::GetS;
+
+    /** For SpecData: which mechanism triggered the push. */
+    SpecTrigger trigger = SpecTrigger::None;
+
     NodeId src = invalidNode;
     NodeId dst = invalidNode;
-    BlockId blk = 0;
 
     /**
      * Requester-side copy state piggy-backed on requests and InvAck,
@@ -78,26 +97,28 @@ struct CohMsg
      * copyWasSpec -- that copy had been placed speculatively;
      * copyReferenced -- the processor had referenced the copy.
      */
-    bool hadCopy = false;
-    bool copyWasSpec = false;
-    bool copyReferenced = false;
+    std::uint8_t hadCopy : 1 = 0;
+    std::uint8_t copyWasSpec : 1 = 0;
+    std::uint8_t copyReferenced : 1 = 0;
 
     /** Recall initiated by the SWI heuristic rather than a request. */
-    bool speculative = false;
+    std::uint8_t speculative : 1 = 0;
 
     /**
      * On data responses: the transaction crossed node boundaries, so
      * the requester's stall counts as remote request waiting time
      * rather than computation (Figure 9 breakdown).
      */
-    bool remoteWork = false;
+    std::uint8_t remoteWork : 1 = 0;
 
-    /** For SpecData: which mechanism triggered the push. */
-    SpecTrigger trigger = SpecTrigger::None;
+    BlockId blk = 0;
 
     /** Render for diagnostics. */
     std::string toString() const;
 };
+
+static_assert(sizeof(CohMsg) == 16,
+              "CohMsg is copied per network hop; keep it two words");
 
 } // namespace mspdsm
 

@@ -5,24 +5,28 @@
  * A single EventQueue drives the whole simulated machine. The kernel
  * is built for the protocol's event profile -- tens of millions of
  * events, almost all scheduled a few hundred ticks out -- so the
- * ordering structure is a bucketed timing wheel rather than a binary
- * heap:
+ * ordering structure is a hierarchy of timing wheels rather than a
+ * binary heap:
  *
  *  - Events are *intrusive*: components derive from Event and own
  *    their event objects, so scheduling allocates nothing and firing
  *    is one virtual call. Events scheduled through the legacy
  *    std::function API are wrapped in pooled LambdaEvents.
- *  - The wheel covers the next `wheelSize` ticks, one intrusive FIFO
- *    list per tick; within a tick, events fire in schedule order (the
- *    tie-break determinism the whole test suite depends on). A bitmap
- *    over the buckets makes "next occupied tick" a few word scans.
- *  - Events beyond the wheel horizon wait in a far-heap ordered by
- *    (tick, seq) and migrate into the wheel when the window advances
- *    past their tick minus the horizon; because migration happens
- *    before any same-tick direct insert can occur (a tick accepts
- *    direct inserts only once it is inside the window, and the window
- *    only advances at migration points), FIFO order is preserved
- *    end-to-end.
+ *  - The near wheel covers the current and next 4096-tick "gigatick"
+ *    (8192 one-tick buckets), one intrusive FIFO list per tick;
+ *    within a tick, events fire in schedule order (the tie-break
+ *    determinism the whole test suite depends on). A bitmap over the
+ *    buckets makes "next occupied tick" a few word scans.
+ *  - Events two to 255 gigaticks out (up to ~1M ticks) sit in the
+ *    *far wheel*: 256 buckets of one gigatick each, again intrusive
+ *    FIFO lists. When the near window first enters gigatick G-1, the
+ *    far bucket for G is cascaded wholesale into the near wheel --
+ *    before any tick of G can accept a direct insert, so per-tick
+ *    FIFO order is preserved end-to-end. Far scheduling and
+ *    cascading are O(1) per event; no comparisons.
+ *  - Only events beyond the far horizon (> ~1M ticks, e.g. deadlock
+ *    guards) take a small overflow heap ordered by (tick, seq); they
+ *    migrate into the far wheel as the window advances.
  */
 
 #ifndef MSPDSM_SIM_EVENTQ_HH
@@ -31,7 +35,6 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "base/chunked_vector.hh"
@@ -45,7 +48,7 @@ class EventQueue;
 /**
  * Base class of everything schedulable. Components embed (or pool)
  * their Event objects; an event may be rescheduled freely once it has
- * fired, but not while it is pending.
+ * fired or been descheduled, but not while it is pending.
  */
 class Event
 {
@@ -141,8 +144,20 @@ class EventQueue
         schedule(curTick_ + delay, std::move(cb));
     }
 
+    /**
+     * Remove a pending event from the queue (any level: near wheel,
+     * far wheel, or overflow heap). The event may be rescheduled
+     * afterwards. No-op on an event that is not scheduled.
+     * @return true iff the event was pending and has been removed
+     */
+    bool deschedule(Event &ev);
+
     /** Number of events not yet executed. */
-    std::size_t pending() const { return wheelCount_ + far_.size(); }
+    std::size_t
+    pending() const
+    {
+        return wheelCount_ + farCount_ + heap_.size();
+    }
 
     /**
      * Run until the queue drains or an event beyond @p limit is next.
@@ -157,15 +172,33 @@ class EventQueue
 
   private:
     /**
-     * Wheel span in ticks; events beyond it take the far-heap. Sized
-     * to cover not just the protocol's raw latencies (all < 512) but
-     * the NI backlog a contended interface can accumulate, so the
-     * heap is a true fallback. 4096 buckets cost 64KB + a 512-byte
-     * bitmap.
+     * One gigatick: the granularity of the far wheel and half the
+     * near wheel. Sized to cover not just the protocol's raw
+     * latencies (all < 512) but the NI backlog a contended interface
+     * can accumulate.
      */
-    static constexpr std::size_t wheelSize = 4096;
+    static constexpr unsigned gigaBits = 12;
+    static constexpr Tick gigaSize = Tick{1} << gigaBits;
+
+    /**
+     * Near wheel: one bucket per tick over two gigaticks, so every
+     * event within the current or next gigatick inserts directly
+     * (the sliding 4096-tick near window of the protocol always fits)
+     * and a cascaded gigatick lands beside the live one. 8192 buckets
+     * cost 128KB + a 1KB bitmap.
+     */
+    static constexpr std::size_t wheelSize = 2 * gigaSize;
     static constexpr std::size_t wheelMask = wheelSize - 1;
     static constexpr std::size_t wheelWords = wheelSize / 64;
+
+    /**
+     * Far wheel: one bucket per gigatick. Live buckets span gigaticks
+     * (cascadedG_, curG + farSize - 1], strictly fewer than farSize
+     * values, so a bucket index maps to exactly one live gigatick.
+     */
+    static constexpr std::size_t farSize = 256;
+    static constexpr std::size_t farMask = farSize - 1;
+    static constexpr std::size_t farWords = farSize / 64;
 
     struct Bucket
     {
@@ -214,7 +247,14 @@ class EventQueue
         EventQueue *owner_;
     };
 
-    /** Append to the wheel bucket for ev.when_ and mark it occupied. */
+    /** Gigatick index of a tick. */
+    static constexpr Tick
+    gigaOf(Tick t)
+    {
+        return t >> gigaBits;
+    }
+
+    /** Append to the near-wheel bucket for ev.when_ and mark it. */
     void
     enqueueWheel(Event &ev)
     {
@@ -229,20 +269,59 @@ class EventQueue
         ++wheelCount_;
     }
 
+    /** Append to the far-wheel bucket for ev.when_'s gigatick. */
+    void
+    enqueueFar(Event &ev)
+    {
+        const std::size_t b = gigaOf(ev.when_) & farMask;
+        Bucket &fb = farBuckets_[b];
+        if (fb.tail)
+            fb.tail->next_ = &ev;
+        else
+            fb.head = &ev;
+        fb.tail = &ev;
+        farOccupied_[b / 64] |= std::uint64_t{1} << (b & 63);
+        ++farCount_;
+    }
+
+    /** Unlink @p ev from @p b (must be a member). @return emptied */
+    static bool unlinkFromBucket(Bucket &b, Event &ev);
+
+    /** Fold far bucket @p b wholesale into the near wheel. */
+    void drainFarBucket(std::size_t b);
+
     /** Smallest occupied wheel tick >= curTick_ (wheel non-empty). */
     Tick nextWheelTick() const;
 
+    /** Earliest far event (far wheel or heap; one of them non-empty). */
+    Tick nextFarTick() const;
+
     /**
-     * Move to tick @p t: advance the window and pull far-heap events
-     * whose tick is now inside it.
+     * Move to tick @p t: advance the window, cascading far-wheel
+     * buckets and migrating heap events that now fit lower levels.
      */
     void advanceTo(Tick t);
 
+    /** Cascade/migrate after the window entered gigatick @p newG. */
+    void cascadeTo(Tick newG);
+
     std::array<Bucket, wheelSize> buckets_{};
     std::array<std::uint64_t, wheelWords> occupied_{};
+    std::array<Bucket, farSize> farBuckets_{};
+    std::array<std::uint64_t, farWords> farOccupied_{};
     Tick wheelBase_ = 0; //!< window start; == curTick_ while running
     std::size_t wheelCount_ = 0;
-    std::priority_queue<FarEntry, std::vector<FarEntry>, FarLater> far_;
+    std::size_t farCount_ = 0;
+    /**
+     * Far-wheel buckets for gigaticks <= cascadedG_ have been folded
+     * into the near wheel; always curG + 1 after an advance, so a
+     * gigatick's bucket empties before any of its ticks accepts a
+     * direct near-wheel insert (the FIFO invariant).
+     */
+    Tick cascadedG_ = 1;
+    //! Overflow min-heap (std::push_heap/pop_heap on a vector, so
+    //! deschedule() can excise entries exactly).
+    std::vector<FarEntry> heap_;
 
     EventPool<LambdaEvent> lambdaPool_;
 

@@ -24,11 +24,16 @@ struct NetFixture : ::testing::Test
     build()
     {
         net = std::make_unique<Network>(eq, cfg, Rng(1));
-        for (NodeId n = 0; n < cfg.numNodes; ++n) {
-            net->attach(n, [this, n](const CohMsg &m) {
-                arrivals.push_back({eq.curTick(), n, m});
-            });
-        }
+        for (NodeId n = 0; n < cfg.numNodes; ++n)
+            net->attach(n, &NetFixture::record, this);
+    }
+
+    /** Raw delivery sink recording every arrival. */
+    static void
+    record(void *ctx, const CohMsg &m)
+    {
+        auto *self = static_cast<NetFixture *>(ctx);
+        self->arrivals.push_back({self->eq.curTick(), m.dst, m});
     }
 
     CohMsg
@@ -160,11 +165,11 @@ TEST_F(NetFixture, JitterCanReorderAcrossSources)
         EventQueue q;
         Network n(q, cfg, Rng(1000 + t));
         std::vector<NodeId> order;
-        for (NodeId id = 0; id < cfg.numNodes; ++id) {
-            n.attach(id, [&order](const CohMsg &m) {
-                order.push_back(m.src);
-            });
-        }
+        const auto push_src = +[](void *ctx, const CohMsg &m) {
+            static_cast<std::vector<NodeId> *>(ctx)->push_back(m.src);
+        };
+        for (NodeId id = 0; id < cfg.numNodes; ++id)
+            n.attach(id, push_src, &order);
         CohMsg a = msg(MsgType::InvAck, 1, 0);
         CohMsg b = msg(MsgType::InvAck, 2, 0);
         n.send(a);
@@ -188,11 +193,11 @@ TEST_F(NetFixture, ZeroJitterIsDeterministicallyOrdered)
         EventQueue q;
         Network n(q, cfg, Rng(2000 + t));
         std::vector<NodeId> order;
-        for (NodeId id = 0; id < cfg.numNodes; ++id) {
-            n.attach(id, [&order](const CohMsg &m) {
-                order.push_back(m.src);
-            });
-        }
+        const auto push_src = +[](void *ctx, const CohMsg &m) {
+            static_cast<std::vector<NodeId> *>(ctx)->push_back(m.src);
+        };
+        for (NodeId id = 0; id < cfg.numNodes; ++id)
+            n.attach(id, push_src, &order);
         n.send(msg(MsgType::InvAck, 1, 0));
         n.send(msg(MsgType::InvAck, 2, 0));
         EXPECT_TRUE(q.run());

@@ -25,15 +25,19 @@ struct CacheFixture : ::testing::Test
         cfg.netJitter = 0;
         net = std::make_unique<Network>(eq, cfg, Rng(1));
         cache = std::make_unique<CacheCtrl>(1, eq, *net, cfg);
-        for (NodeId n = 0; n < 4; ++n) {
-            net->attach(n, [this, n](const CohMsg &m) {
-                if (n == 1) {
-                    cache->handle(m);
-                } else {
-                    outbox.push_back(m);
-                }
-            });
-        }
+        for (NodeId n = 0; n < 4; ++n)
+            net->attach(n, &CacheFixture::route, this);
+    }
+
+    /** Raw sink: node 1 is the cache under test, the rest a catcher. */
+    static void
+    route(void *ctx, const CohMsg &m)
+    {
+        auto *self = static_cast<CacheFixture *>(ctx);
+        if (m.dst == 1)
+            self->cache->handle(m);
+        else
+            self->outbox.push_back(m);
     }
 
     /** Run the event queue dry. */
@@ -64,14 +68,28 @@ struct CacheFixture : ::testing::Test
     int completions = 0;
     bool lastRemote = false;
 
-    CacheCtrl::Done
-    done()
+    /** Intrusive completion counting into the fixture. */
+    struct CountingCompletion final : MemCompletion
     {
-        return [this](bool remote) {
-            ++completions;
-            lastRemote = remote;
-        };
-    }
+        explicit CountingCompletion(CacheFixture *f)
+            : MemCompletion(&CountingCompletion::fired), fix(f)
+        {}
+
+        static void
+        fired(MemCompletion &self, bool remote)
+        {
+            auto &c = static_cast<CountingCompletion &>(self);
+            ++c.fix->completions;
+            c.fix->lastRemote = remote;
+        }
+
+        CacheFixture *fix;
+    };
+
+    CountingCompletion completion{this};
+
+    /** The blocking processor's one outstanding completion record. */
+    CountingCompletion &done() { return completion; }
 };
 
 } // namespace
