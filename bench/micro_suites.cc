@@ -89,7 +89,19 @@ benchWorkload()
     return w;
 }
 
-/** End-to-end: simulated coherence messages per second on em3d. */
+/** The same workload pre-compiled, as the harness workload cache
+ * hands it to every run. */
+const CompiledWorkload &
+benchCompiledWorkload()
+{
+    static const CompiledWorkload cw(benchWorkload(),
+                                     AddrMap(ProtoConfig{}));
+    return cw;
+}
+
+/** End-to-end: simulated coherence messages per second on em3d,
+ * including the per-run trace compilation (the cold path a one-off
+ * run pays). */
 std::uint64_t
 simMessages()
 {
@@ -100,7 +112,21 @@ simMessages()
     return sys.run(w.traces).messages;
 }
 
-/** Speculative run: same workload with VMSP + SWI/FR machinery on. */
+/** End-to-end on the pre-compiled workload: the steady-state path a
+ * sweep takes once the workload cache is warm. */
+std::uint64_t
+simMessagesCompiled()
+{
+    const Workload &w = benchWorkload();
+    const CompiledWorkload &cw = benchCompiledWorkload();
+    DsmConfig cfg;
+    cfg.proto.netJitter = w.netJitter;
+    DsmSystem sys(cfg);
+    return sys.run(cw).messages;
+}
+
+/** Speculative run: same workload with VMSP + SWI/FR machinery on
+ * (per-run compilation included, like sim/messages). */
 std::uint64_t
 simMessagesSpec()
 {
@@ -111,6 +137,18 @@ simMessagesSpec()
     cfg.spec = SpecMode::SwiFirstRead;
     DsmSystem sys(cfg);
     return sys.run(w.traces).messages;
+}
+
+/** Front-end throughput: source TraceOps compiled per second. */
+std::uint64_t
+workloadCompile()
+{
+    const Workload &w = benchWorkload();
+    const AddrMap map((ProtoConfig{}));
+    const CompiledWorkload cw(w, map);
+    // Keep the result alive past the optimizer.
+    asm volatile("" ::"r"(cw.totalOps()));
+    return cw.sourceOps();
 }
 
 /** Pre-generated stable producer/consumer message stream. */
@@ -209,7 +247,10 @@ runSimSuite(const BenchOptions &opts)
     rs.push_back(runBench("eventq/far", opts, eventqFar));
     rs.push_back(runBench("eventq/self_chain", opts, eventqSelfChain));
     rs.push_back(runBench("sim/messages", opts, simMessages));
+    rs.push_back(
+        runBench("sim/messages_compiled", opts, simMessagesCompiled));
     rs.push_back(runBench("sim/messages_spec", opts, simMessagesSpec));
+    rs.push_back(runBench("workload/compile", opts, workloadCompile));
     return rs;
 }
 

@@ -32,6 +32,22 @@ REQUIRED_TOP = ["schema", "events_per_sec", "lookups_per_sec",
                 "peak_rss_bytes", "benches"]
 REQUIRED_BENCH = ["name", "items", "seconds", "items_per_sec"]
 
+# Benches every record must carry: dropping one silently would blind
+# the regression gate to that path. Extend when bench_core grows.
+REQUIRED_BENCH_NAMES = [
+    "eventq/throughput",
+    "eventq/far",
+    "eventq/self_chain",
+    "sim/messages",
+    "sim/messages_compiled",
+    "sim/messages_spec",
+    "workload/compile",
+    "pred/observe_mix",
+    "pred/observe_cold",
+    "pred/observe_deep",
+    "pred/spec_query",
+]
+
 
 def fail(msg):
     print(f"check_bench_core: FAIL: {msg}", file=sys.stderr)
@@ -91,6 +107,9 @@ def validate(rec, path):
                     or not math.isfinite(v) or v < 0:
                 errs.append(f"{where}: '{key}' is not a finite "
                             f"non-negative number: {v!r}")
+    for name in REQUIRED_BENCH_NAMES:
+        if name not in seen:
+            errs.append(f"{path}: required bench '{name}' is missing")
     return errs
 
 

@@ -31,7 +31,21 @@ class Rng
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
     /** Next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+
+        return result;
+    }
 
     /**
      * Uniform integer in [lo, hi], inclusive on both ends.
@@ -78,10 +92,59 @@ class Rng
     }
 
   private:
-    /** Uniform value in [0, n), n > 0; uses Lemire's method. */
+    friend class BoundedDraw;
+
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /** Uniform value in [0, n), n > 0; rejection + modulo. */
     std::uint64_t bounded(std::uint64_t n);
 
     std::uint64_t s_[4];
+};
+
+/**
+ * Precomputed-bound uniform sampler: draws exactly the same value
+ * stream as Rng::uniform(lo, hi) on the same generator, but hoists
+ * the rejection threshold -- a 64-bit divide -- out of the draw.
+ * Components that sample a fixed range per event (the network's
+ * per-message jitter) construct one of these once instead of paying
+ * the divide per message.
+ */
+class BoundedDraw
+{
+  public:
+    BoundedDraw() = default;
+
+    /** Sampler for uniform integers in [lo, hi], hi >= lo. */
+    BoundedDraw(std::uint64_t lo, std::uint64_t hi)
+        : lo_(lo), n_(hi - lo + 1)
+    {
+        // Guard before the divide: for hi < lo (or the full 2^64
+        // range) n_ wraps to 0 and the threshold modulo would be UB.
+        panic_if(hi < lo, "BoundedDraw: hi < lo");
+        panic_if(n_ == 0, "BoundedDraw: full-width range unsupported");
+        threshold_ = (0 - n_) % n_;
+    }
+
+    /** Draw one value from @p rng (identical to rng.uniform(lo, hi)). */
+    std::uint64_t
+    operator()(Rng &rng) const
+    {
+        for (;;) {
+            const std::uint64_t r = rng.next();
+            if (r >= threshold_)
+                return lo_ + r % n_;
+        }
+    }
+
+  private:
+    std::uint64_t lo_ = 0;
+    std::uint64_t n_ = 1;
+    std::uint64_t threshold_ = 0;
 };
 
 } // namespace mspdsm

@@ -21,30 +21,15 @@ CacheCtrl::hasUnreferencedSpec(BlockId blk) const
 }
 
 void
-CacheCtrl::completeHit(Line &l, MemCompletion &done)
-{
-    // First touch of a remote-cache resident block (including every
-    // speculatively pushed copy) costs a local access; afterwards the
-    // block lives in the processor cache.
-    const Tick lat = l.inProcCache ? cfg_.cacheHit : cfg_.memAccess;
-    l.inProcCache = true;
-    l.referenced = true;
-    panic_if(hitEvent_.scheduled(),
-             "cache ", id_, ": overlapping hit completions");
-    hitDone_ = &done;
-    eq_.scheduleAfter(lat, hitEvent_);
-}
-
-void
 CacheCtrl::hitDone()
 {
     MemCompletion *done = hitDone_;
     hitDone_ = nullptr;
-    done->complete(false);
+    done->complete(false, eq_.curTick());
 }
 
 void
-CacheCtrl::sendRequest(MsgType t, BlockId blk, const Line &l)
+CacheCtrl::sendRequest(MsgType t, BlockId blk, const Line &l, Tick base)
 {
     CohMsg m;
     m.type = t;
@@ -54,61 +39,87 @@ CacheCtrl::sendRequest(MsgType t, BlockId blk, const Line &l)
     m.hadCopy = l.state != LineState::Invalid;
     m.copyWasSpec = l.spec;
     m.copyReferenced = l.referenced;
-    net_.send(m);
+    net_.sendAt(base, m);
+}
+
+Tick
+CacheCtrl::tryHit(BlockId blk, bool is_write)
+{
+    panic_if(mshr_.valid, "blocking processor accessed during a miss");
+    Line &l = line(blk);
+    if (is_write ? l.state != LineState::Modified
+                 : l.state == LineState::Invalid)
+        return 0;
+
+    if (is_write) {
+        stats_.writeHits.inc();
+    } else {
+        stats_.readHits.inc();
+        if (l.spec && !l.referenced) {
+            // A speculative push absorbed this read: the remote
+            // access the paper's model converts into a local one.
+            if (l.trig == SpecTrigger::FirstRead)
+                stats_.specServedFr.inc();
+            else if (l.trig == SpecTrigger::Swi)
+                stats_.specServedSwi.inc();
+        }
+    }
+    // First touch of a remote-cache resident block (including every
+    // speculatively pushed copy) costs a local access; afterwards the
+    // block lives in the processor cache.
+    const Tick lat = l.inProcCache ? cfg_.cacheHit : cfg_.memAccess;
+    l.inProcCache = true;
+    l.referenced = true;
+    return lat;
+}
+
+void
+CacheCtrl::issueMiss(BlockId blk, bool is_write, MemCompletion &done,
+                     Tick base)
+{
+    panic_if(mshr_.valid, "blocking processor issued a second miss");
+    const Line &l = line(blk);
+    mshr_.valid = true;
+    mshr_.blk = blk;
+    mshr_.write = is_write;
+    mshr_.invalidated = false;
+    mshr_.done = &done;
+    if (!is_write) {
+        stats_.demandReads.inc();
+        sendRequest(MsgType::GetS, blk, l, base);
+        return;
+    }
+    stats_.demandWrites.inc();
+    sendRequest(l.state == LineState::Shared ? MsgType::Upgrade
+                                             : MsgType::GetX,
+                blk, l, base);
+}
+
+void
+CacheCtrl::accessAt(BlockId blk, bool is_write, MemCompletion &done,
+                    Tick base)
+{
+    if (const Tick lat = tryHit(blk, is_write)) {
+        // Local completion through the cache's own timer (the
+        // processor's fused fast path schedules its own resume
+        // instead and never comes through here on a hit).
+        panic_if(hitEvent_.scheduled(),
+                 "cache ", id_, ": overlapping hit completions");
+        hitDone_ = &done;
+        eq_.schedule(base + lat, hitEvent_);
+        return;
+    }
+    issueMiss(blk, is_write, done, base);
 }
 
 void
 CacheCtrl::access(Addr addr, bool is_write, MemCompletion &done)
 {
-    panic_if(mshr_.valid, "blocking processor issued a second miss");
-    const BlockId blk = map_.blockOf(addr);
-    Line &l = line(blk);
-
-    if (!is_write) {
-        if (l.state != LineState::Invalid) {
-            stats_.readHits.inc();
-            if (l.spec && !l.referenced) {
-                // A speculative push absorbed this read: the remote
-                // access the paper's model converts into a local one.
-                if (l.trig == SpecTrigger::FirstRead)
-                    stats_.specServedFr.inc();
-                else if (l.trig == SpecTrigger::Swi)
-                    stats_.specServedSwi.inc();
-            }
-            completeHit(l, done);
-            return;
-        }
-        stats_.demandReads.inc();
-        mshr_.valid = true;
-        mshr_.blk = blk;
-        mshr_.write = false;
-        mshr_.invalidated = false;
-        mshr_.done = &done;
-        sendRequest(MsgType::GetS, blk, l);
-        return;
-    }
-
-    // Write access.
-    if (l.state == LineState::Modified) {
-        stats_.writeHits.inc();
-        completeHit(l, done);
-        return;
-    }
-    stats_.demandWrites.inc();
-    mshr_.valid = true;
-    mshr_.blk = blk;
-    mshr_.write = true;
-    mshr_.invalidated = false;
-    mshr_.done = &done;
-    if (l.state == LineState::Shared) {
-        sendRequest(MsgType::Upgrade, blk, l);
-    } else {
-        sendRequest(MsgType::GetX, blk, l);
-    }
+    accessAt(map_.blockOf(addr), is_write, done, eq_.curTick());
 }
 
 void
-CacheCtrl::handle(const CohMsg &msg)
+CacheCtrl::handle(const CohMsg &msg, Tick base)
 {
     Line &l = line(msg.blk);
     switch (msg.type) {
@@ -135,7 +146,7 @@ CacheCtrl::handle(const CohMsg &msg)
         l.spec = false;
         l.referenced = false;
         l.inProcCache = false;
-        net_.send(ack);
+        net_.sendAt(base, ack);
         return;
       }
       case MsgType::Recall: {
@@ -152,7 +163,7 @@ CacheCtrl::handle(const CohMsg &msg)
         l.spec = false;
         l.referenced = false;
         l.inProcCache = false;
-        net_.send(wb);
+        net_.sendAt(base, wb);
         return;
       }
       case MsgType::SpecData: {
@@ -193,7 +204,7 @@ CacheCtrl::handle(const CohMsg &msg)
         }
         MemCompletion *done = mshr_.done;
         mshr_ = Mshr{};
-        done->complete(msg.remoteWork);
+        done->complete(msg.remoteWork, base);
         return;
       }
       default:

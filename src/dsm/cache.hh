@@ -48,16 +48,22 @@ enum class LineState : std::uint8_t
  * @param remote true iff the access waited on inter-node coherence
  *        traffic (the paper's "request waiting time"); node-local
  *        service counts as computation.
+ * @param base the tick the access logically completes at. Equal to
+ *        curTick() when the completion is delivered by an event;
+ *        ahead of the clock when it arrives through the fused
+ *        fast path (whose guard makes the difference unobservable).
+ *        Continuations must anchor their own timing on @p base, not
+ *        on the clock.
  */
 class MemCompletion
 {
   public:
-    using Fn = void (*)(MemCompletion &self, bool remote);
+    using Fn = void (*)(MemCompletion &self, bool remote, Tick base);
 
     explicit constexpr MemCompletion(Fn fn) : fn_(fn) {}
 
-    /** Deliver the completion. */
-    void complete(bool remote) { fn_(*this, remote); }
+    /** Deliver the completion as of tick @p base. */
+    void complete(bool remote, Tick base) { fn_(*this, remote, base); }
 
   private:
     Fn fn_;
@@ -84,7 +90,13 @@ class CacheCtrl
     CacheCtrl(NodeId id, EventQueue &eq, Network &net,
               const ProtoConfig &cfg)
         : id_(id), eq_(eq), net_(net), cfg_(cfg), map_(cfg)
-    {}
+    {
+        // tryHit() signals "miss" with a zero latency, so a zero-cost
+        // local access is not representable; the paper's machine has
+        // none (Table 1 minimums are 1 and 104 cycles).
+        fatal_if(cfg.cacheHit == 0 || cfg.memAccess == 0,
+                 "cache hit/memory latencies must be non-zero");
+    }
 
     /**
      * Processor-side access. At most one outstanding miss (blocking
@@ -93,8 +105,42 @@ class CacheCtrl
      */
     void access(Addr addr, bool is_write, MemCompletion &done);
 
+    /**
+     * access() by precompiled block id with an explicit issue tick
+     * @p base >= curTick() (the fused-run virtual time). Node-local
+     * hits complete through the cache's own timer as in access().
+     */
+    void accessAt(BlockId blk, bool is_write, MemCompletion &done,
+                  Tick base);
+
+    /**
+     * Fast-path hit probe: if the access can be served node-locally,
+     * book the hit (statistics, reference/residency bits) and return
+     * its latency; the *completion is the caller's to schedule*. On a
+     * miss, return 0 with no side effects beyond creating the line.
+     * This is how the processor's fused fast path absorbs a hit into
+     * its own step event instead of bouncing through hitEvent_.
+     */
+    Tick tryHit(BlockId blk, bool is_write);
+
+    /**
+     * Issue the demand transaction for an access that tryHit()
+     * declined, injecting the request at tick @p base. @p done fires
+     * at fill time.
+     */
+    void issueMiss(BlockId blk, bool is_write, MemCompletion &done,
+                   Tick base);
+
     /** Network-side handler for Inval/Recall/data/SpecData messages. */
-    void handle(const CohMsg &msg);
+    void handle(const CohMsg &msg) { handle(msg, eq_.curTick()); }
+
+    /**
+     * handle() as of tick @p base >= curTick(): the fused delivery
+     * fast path hands messages over ahead of the clock (legal only
+     * while nothing else can fire first); every send and completion
+     * this triggers is anchored on @p base.
+     */
+    void handle(const CohMsg &msg, Tick base);
 
     /** Statistics. */
     const CacheStats &stats() const { return stats_; }
@@ -157,14 +203,11 @@ class CacheCtrl
         return l;
     }
 
-    /** Complete a node-local hit with the given latency. */
-    void completeHit(Line &l, MemCompletion &done);
-
     /** HitEvent fired: deliver the stored completion. */
     void hitDone();
 
-    /** Issue a request message to the block's home. */
-    void sendRequest(MsgType t, BlockId blk, const Line &l);
+    /** Issue a request message to the block's home at @p base. */
+    void sendRequest(MsgType t, BlockId blk, const Line &l, Tick base);
 
     NodeId id_;
     EventQueue &eq_;

@@ -85,12 +85,24 @@ Directory::specObserve(BlockId blk, SymKind kind, NodeId src)
 }
 
 void
-Directory::sendAfter(Tick delay, CohMsg msg)
+Directory::sendAt(Tick when, CohMsg msg)
 {
+    if (canRunAt(when)) {
+        // Fused fast path: nothing can fire before @p when, so
+        // injecting now with @p when as the base is indistinguishable
+        // from bouncing through a pooled Send event -- including the
+        // jitter draw order, since no other send can interleave. The
+        // network only ever *schedules* from a send (never delivers
+        // inline), so this cannot run ahead of the caller's
+        // remaining work.
+        eq_.noteFused(when);
+        net_.sendAt(when, msg);
+        return;
+    }
     DirEvent &e = pool_.acquire(this);
     e.kind = DirEvent::Kind::Send;
     e.msg = msg;
-    eq_.scheduleAfter(delay, e);
+    eq_.schedule(when, e);
 }
 
 void
@@ -102,23 +114,24 @@ Directory::eventFired(DirEvent &e)
     const CohMsg msg = e.msg;
     pool_.release(e);
 
+    const Tick base = eq_.curTick();
     switch (kind) {
       case DirEvent::Kind::Send:
         net_.send(msg);
         return;
       case DirEvent::Kind::ReadReply:
-        readReplyFired(msg.blk, msg.dst);
+        readReplyFired(msg.blk, msg.dst, base);
         return;
       case DirEvent::Kind::Grant:
-        grantExcl(entry(msg.blk), msg.blk);
+        grantExcl(entry(msg.blk), msg.blk, base);
         return;
       case DirEvent::Kind::WbGetS:
-        wbGetSFired(msg.blk);
+        wbGetSFired(msg.blk, base);
         return;
       case DirEvent::Kind::SwiComplete: {
         const BlockId blk = msg.blk;
-        completeSwi(entry(blk), blk);
-        drain(blk);
+        completeSwi(entry(blk), blk, base);
+        drain(blk, base);
         return;
       }
     }
@@ -126,7 +139,7 @@ Directory::eventFired(DirEvent &e)
 }
 
 void
-Directory::readReplyFired(BlockId blk, NodeId reader)
+Directory::readReplyFired(BlockId blk, NodeId reader, Tick base)
 {
     Entry &e = entry(blk);
     --e.repliesInFlight;
@@ -136,14 +149,14 @@ Directory::readReplyFired(BlockId blk, NodeId reader)
     reply.dst = reader;
     reply.blk = blk;
     reply.remoteWork = reader != id_;
-    net_.send(reply);
+    net_.sendAt(base, reply);
     if (specEnabled())
-        frCheck(e, blk, reader);
-    drain(blk);
+        frCheck(e, blk, reader, base);
+    drain(blk, base);
 }
 
 void
-Directory::wbGetSFired(BlockId blk)
+Directory::wbGetSFired(BlockId blk, Tick base)
 {
     Entry &e = entry(blk);
     e.state = DirState::Shared;
@@ -154,14 +167,14 @@ Directory::wbGetSFired(BlockId blk)
     reply.dst = e.curReq;
     reply.blk = blk;
     reply.remoteWork = true;
-    net_.send(reply);
+    net_.sendAt(base, reply);
     if (specEnabled())
-        frCheck(e, blk, e.curReq);
-    drain(blk);
+        frCheck(e, blk, e.curReq, base);
+    drain(blk, base);
 }
 
 void
-Directory::handle(const CohMsg &msg)
+Directory::handle(const CohMsg &msg, Tick base)
 {
     panic_if(map_.homeOf(msg.blk) != id_,
              "message routed to wrong home: ", msg.toString());
@@ -190,16 +203,16 @@ Directory::handle(const CohMsg &msg)
             cold(e).deferred.push_back(msg);
             return;
         }
-        processRequest(e, msg);
+        processRequest(e, msg, base);
         return;
       }
       case MsgType::InvAck:
         observe(msg);
-        onInvAck(e, msg);
+        onInvAck(e, msg, base);
         return;
       case MsgType::WriteBack:
         observe(msg);
-        onWriteBack(e, msg);
+        onWriteBack(e, msg, base);
         return;
       default:
         panic("directory received unexpected ", msg.toString());
@@ -207,21 +220,22 @@ Directory::handle(const CohMsg &msg)
 }
 
 void
-Directory::processRequest(Entry &e, const CohMsg &msg)
+Directory::processRequest(Entry &e, const CohMsg &msg, Tick base)
 {
     switch (msg.type) {
       case MsgType::GetS:
-        onGetS(e, msg);
+        onGetS(e, msg, base);
         return;
       case MsgType::GetX:
-        onWrite(e, msg, false);
+        onWrite(e, msg, false, base);
         return;
       case MsgType::Upgrade:
         // An upgrade whose copy was invalidated in flight is handled
         // as a full write request (the requester needs data again).
         onWrite(e, msg,
                 e.state == DirState::Shared &&
-                    e.sharers.contains(msg.src));
+                    e.sharers.contains(msg.src),
+                base);
         return;
       default:
         panic("processRequest on ", msg.toString());
@@ -229,7 +243,7 @@ Directory::processRequest(Entry &e, const CohMsg &msg)
 }
 
 void
-Directory::onGetS(Entry &e, const CohMsg &msg)
+Directory::onGetS(Entry &e, const CohMsg &msg, Tick base)
 {
     const BlockId blk = msg.blk;
     const NodeId src = msg.src;
@@ -244,8 +258,12 @@ Directory::onGetS(Entry &e, const CohMsg &msg)
         e.state = DirState::Shared;
         e.sharers.add(src);
         ++e.repliesInFlight;
-        DirEvent &ev = scheduleKind(DirEvent::Kind::ReadReply,
-                                    cfg_.dirLookup + cfg_.memAccess);
+        const Tick fire = base + cfg_.dirLookup + cfg_.memAccess;
+        if (fuseAt(e, fire)) {
+            readReplyFired(blk, src, fire);
+            return;
+        }
+        DirEvent &ev = scheduleKind(DirEvent::Kind::ReadReply, fire);
         ev.msg.blk = blk;
         ev.msg.dst = src;
         return;
@@ -262,7 +280,7 @@ Directory::onGetS(Entry &e, const CohMsg &msg)
         recall.src = id_;
         recall.dst = e.owner;
         recall.blk = blk;
-        sendAfter(cfg_.dirLookup, recall);
+        sendAt(base + cfg_.dirLookup, recall);
         return;
       }
       default:
@@ -271,7 +289,8 @@ Directory::onGetS(Entry &e, const CohMsg &msg)
 }
 
 void
-Directory::onWrite(Entry &e, const CohMsg &msg, bool upgrade_grant)
+Directory::onWrite(Entry &e, const CohMsg &msg, bool upgrade_grant,
+                   Tick base)
 {
     const BlockId blk = msg.blk;
     const NodeId src = msg.src;
@@ -287,9 +306,11 @@ Directory::onWrite(Entry &e, const CohMsg &msg, bool upgrade_grant)
         e.curReq = src;
         e.curUpgradeGrant = false;
         e.curRemote = src != id_;
-        scheduleKind(DirEvent::Kind::Grant,
-                     cfg_.dirLookup + cfg_.memAccess)
-            .msg.blk = blk;
+        const Tick fire = base + cfg_.dirLookup + cfg_.memAccess;
+        if (fuseAt(e, fire))
+            grantExcl(e, blk, fire);
+        else
+            scheduleKind(DirEvent::Kind::Grant, fire).msg.blk = blk;
         return;
       }
       case DirState::Shared: {
@@ -304,9 +325,12 @@ Directory::onWrite(Entry &e, const CohMsg &msg, bool upgrade_grant)
             // Sole sharer upgrading, or stale sharer list: grant
             // directly (memory access only if data must be sent).
             e.state = DirState::BusyService;
-            const Tick delay = cfg_.dirLookup +
-                               (upgrade_grant ? 0 : cfg_.memAccess);
-            scheduleKind(DirEvent::Kind::Grant, delay).msg.blk = blk;
+            const Tick fire = base + cfg_.dirLookup +
+                              (upgrade_grant ? 0 : cfg_.memAccess);
+            if (fuseAt(e, fire))
+                grantExcl(e, blk, fire);
+            else
+                scheduleKind(DirEvent::Kind::Grant, fire).msg.blk = blk;
             return;
         }
         e.state = DirState::BusyInval;
@@ -318,7 +342,7 @@ Directory::onWrite(Entry &e, const CohMsg &msg, bool upgrade_grant)
             inv.src = id_;
             inv.dst = o;
             inv.blk = blk;
-            sendAfter(cfg_.dirLookup, inv);
+            sendAt(base + cfg_.dirLookup, inv);
         }
         return;
       }
@@ -336,7 +360,7 @@ Directory::onWrite(Entry &e, const CohMsg &msg, bool upgrade_grant)
         recall.src = id_;
         recall.dst = e.owner;
         recall.blk = blk;
-        sendAfter(cfg_.dirLookup, recall);
+        sendAt(base + cfg_.dirLookup, recall);
         return;
       }
       default:
@@ -345,7 +369,7 @@ Directory::onWrite(Entry &e, const CohMsg &msg, bool upgrade_grant)
 }
 
 void
-Directory::onInvAck(Entry &e, const CohMsg &msg)
+Directory::onInvAck(Entry &e, const CohMsg &msg, Tick base)
 {
     panic_if(e.state != DirState::BusyInval,
              "InvAck outside invalidation: ", msg.toString());
@@ -354,13 +378,16 @@ Directory::onInvAck(Entry &e, const CohMsg &msg)
     panic_if(e.pendingAcks <= 0, "stray InvAck: ", msg.toString());
     if (--e.pendingAcks == 0) {
         e.state = DirState::BusyService;
-        scheduleKind(DirEvent::Kind::Grant, cfg_.dirLookup).msg.blk =
-            msg.blk;
+        const Tick fire = base + cfg_.dirLookup;
+        if (fuseAt(e, fire))
+            grantExcl(e, msg.blk, fire);
+        else
+            scheduleKind(DirEvent::Kind::Grant, fire).msg.blk = msg.blk;
     }
 }
 
 void
-Directory::onWriteBack(Entry &e, const CohMsg &msg)
+Directory::onWriteBack(Entry &e, const CohMsg &msg, Tick base)
 {
     panic_if(e.state != DirState::BusyRecall,
              "WriteBack outside recall: ", msg.toString());
@@ -369,25 +396,33 @@ Directory::onWriteBack(Entry &e, const CohMsg &msg)
     e.state = DirState::BusyService;
 
     if (e.curIsSwi) {
-        scheduleKind(DirEvent::Kind::SwiComplete, cfg_.memAccess)
-            .msg.blk = blk;
+        const Tick fire = base + cfg_.memAccess;
+        if (fuseAt(e, fire)) {
+            completeSwi(e, blk, fire);
+            drain(blk, fire);
+            return;
+        }
+        scheduleKind(DirEvent::Kind::SwiComplete, fire).msg.blk = blk;
         return;
     }
 
+    const Tick fire = base + cfg_.memAccess + cfg_.dirLookup;
     if (e.curType == MsgType::GetS) {
-        scheduleKind(DirEvent::Kind::WbGetS,
-                     cfg_.memAccess + cfg_.dirLookup)
-            .msg.blk = blk;
+        if (fuseAt(e, fire))
+            wbGetSFired(blk, fire);
+        else
+            scheduleKind(DirEvent::Kind::WbGetS, fire).msg.blk = blk;
         return;
     }
 
-    scheduleKind(DirEvent::Kind::Grant,
-                 cfg_.memAccess + cfg_.dirLookup)
-        .msg.blk = blk;
+    if (fuseAt(e, fire))
+        grantExcl(e, blk, fire);
+    else
+        scheduleKind(DirEvent::Kind::Grant, fire).msg.blk = blk;
 }
 
 void
-Directory::grantExcl(Entry &e, BlockId blk)
+Directory::grantExcl(Entry &e, BlockId blk, Tick base)
 {
     const NodeId w = e.curReq;
     const bool upgrade = e.curUpgradeGrant;
@@ -405,14 +440,14 @@ Directory::grantExcl(Entry &e, BlockId blk)
     reply.dst = w;
     reply.blk = blk;
     reply.remoteWork = e.curRemote;
-    net_.send(reply);
+    net_.sendAt(base, reply);
 
-    writeCompleted(blk, w);
-    drain(blk);
+    writeCompleted(blk, w, base);
+    drain(blk, base);
 }
 
 void
-Directory::drain(BlockId blk)
+Directory::drain(BlockId blk, Tick base)
 {
     // The entry reference must be re-fetched each iteration:
     // processing can insert new entries (never for this block, but
@@ -428,14 +463,14 @@ Directory::drain(BlockId blk)
         }
         CohMsg m = c->deferred.front();
         c->deferred.pop_front();
-        processRequest(e, m);
+        processRequest(e, m, base);
     }
 }
 
 // --- Speculation -----------------------------------------------------
 
 void
-Directory::writeCompleted(BlockId blk, NodeId writer)
+Directory::writeCompleted(BlockId blk, NodeId writer, Tick base)
 {
     Entry &e = entry(blk);
 
@@ -468,11 +503,11 @@ Directory::writeCompleted(BlockId blk, NodeId writer)
     if (!specEnabled() || mode_ != SpecMode::SwiFirstRead)
         return;
     if (auto prev = swiTable_.recordWrite(writer, blk))
-        trySwi(*prev, writer);
+        trySwi(*prev, writer, base);
 }
 
 void
-Directory::trySwi(BlockId blk, NodeId writer)
+Directory::trySwi(BlockId blk, NodeId writer, Tick base)
 {
     auto it = entries_.find(blk);
     if (it == entries_.end())
@@ -507,11 +542,11 @@ Directory::trySwi(BlockId blk, NodeId writer)
     recall.dst = writer;
     recall.blk = blk;
     recall.speculative = true;
-    sendAfter(cfg_.dirLookup, recall);
+    sendAt(base + cfg_.dirLookup, recall);
 }
 
 void
-Directory::completeSwi(Entry &e, BlockId blk)
+Directory::completeSwi(Entry &e, BlockId blk, Tick base)
 {
     specStats_.swiCompleted.inc();
     e.curIsSwi = false;
@@ -527,11 +562,11 @@ Directory::completeSwi(Entry &e, BlockId blk)
     if (!key)
         return;
     e.state = DirState::Shared;
-    pushSpec(e, blk, *readers, SpecTrigger::Swi, *key, 0);
+    pushSpec(e, blk, *readers, SpecTrigger::Swi, *key, base);
 }
 
 void
-Directory::frCheck(Entry &e, BlockId blk, NodeId reader)
+Directory::frCheck(Entry &e, BlockId blk, NodeId reader, Tick base)
 {
     if (coldView(e).phaseTriggered)
         return;
@@ -546,12 +581,12 @@ Directory::frCheck(Entry &e, BlockId blk, NodeId reader)
     rest.remove(reader);
     if (rest.empty())
         return;
-    pushSpec(e, blk, rest, SpecTrigger::FirstRead, *key, 0);
+    pushSpec(e, blk, rest, SpecTrigger::FirstRead, *key, base);
 }
 
 void
 Directory::pushSpec(Entry &e, BlockId blk, NodeSet targets,
-                    SpecTrigger trig, const HistoryKey &key, Tick delay)
+                    SpecTrigger trig, const HistoryKey &key, Tick when)
 {
     ColdEntry &c = cold(e);
     c.phaseTriggered = true;
@@ -573,7 +608,7 @@ Directory::pushSpec(Entry &e, BlockId blk, NodeSet targets,
         push.dst = t;
         push.blk = blk;
         push.trigger = trig;
-        sendAfter(delay, push);
+        sendAt(when, push);
     }
 }
 

@@ -87,7 +87,15 @@ class Directory
               SpecMode mode);
 
     /** Network-side handler for requests and acknowledgements. */
-    void handle(const CohMsg &msg);
+    void handle(const CohMsg &msg) { handle(msg, eq_.curTick()); }
+
+    /**
+     * handle() as of tick @p base >= curTick(): the fused delivery
+     * fast path hands messages over ahead of the clock (legal only
+     * while nothing else can fire first); all service latencies and
+     * sends this triggers are anchored on @p base.
+     */
+    void handle(const CohMsg &msg, Tick base);
 
     /** Protocol statistics. */
     const DirStats &stats() const { return stats_; }
@@ -181,9 +189,10 @@ class Directory
         }
     };
 
-    static_assert(sizeof(Entry) <= 48,
-                  "hot directory entry must stay a fraction of a "
-                  "cache line; move rarely-touched state to ColdEntry");
+    static_assert(sizeof(Entry) == 40,
+                  "the hot directory entry is probed per handled "
+                  "message and is pinned at 40 bytes; move any new "
+                  "state to ColdEntry rather than re-bloating it");
 
 
     /**
@@ -215,22 +224,56 @@ class Directory
     /** Dispatch a fired DirEvent and recycle it. */
     void eventFired(DirEvent &e);
 
-    /** Schedule a pooled event of @p kind after @p delay cycles. */
+    /** Schedule a pooled event of @p kind at absolute tick @p when. */
     DirEvent &
-    scheduleKind(DirEvent::Kind kind, Tick delay)
+    scheduleKind(DirEvent::Kind kind, Tick when)
     {
         DirEvent &e = pool_.acquire(this);
         e.kind = kind;
         e.msg = CohMsg{};
-        eq_.scheduleAfter(delay, e);
+        eq_.schedule(when, e);
         return e;
     }
 
+    /**
+     * The directory-side fused fast path's guard: a deferred action
+     * whose fire tick is already known may run immediately -- with
+     * that tick as its timing base -- iff nothing else can fire at or
+     * before it (strictly, so an event scheduled earlier for the same
+     * tick keeps priority). Under the guard the action's side effects
+     * and its schedules/sends are observed by the rest of the machine
+     * exactly as from the pooled-event path, one event dispatch
+     * cheaper; when the guard fails the caller falls back to
+     * scheduleKind(), which is the pre-fusion behaviour tick for
+     * tick. The same argument as Processor::step()'s fused run.
+     */
+    bool
+    canRunAt(Tick when)
+    {
+        return eq_.canFuseBefore(when);
+    }
+
+    /**
+     * Gate for running a deferred FSM action inline: the horizon
+     * guard (canRunAt) plus an empty deferral queue -- deferred
+     * requests are logically-earlier work invisible to the event
+     * queue, and an inline action must never run ahead of them.
+     * Notes the watermark on success.
+     */
+    bool
+    fuseAt(const Entry &e, Tick when)
+    {
+        if (e.hasDeferred() || !canRunAt(when))
+            return false;
+        eq_.noteFused(when);
+        return true;
+    }
+
     /** GetS service finished: send the data, trigger speculation. */
-    void readReplyFired(BlockId blk, NodeId reader);
+    void readReplyFired(BlockId blk, NodeId reader, Tick base);
 
     /** Writeback for a demand GetS absorbed: share to the requester. */
-    void wbGetSFired(BlockId blk);
+    void wbGetSFired(BlockId blk, Tick base);
 
     /**
      * Find-or-create the block's entry, memoizing the most recent
@@ -319,20 +362,27 @@ class Directory
      */
     void specObserve(BlockId blk, SymKind kind, NodeId src);
 
-    void processRequest(Entry &e, const CohMsg &msg);
-    void onGetS(Entry &e, const CohMsg &msg);
-    void onWrite(Entry &e, const CohMsg &msg, bool upgrade_grant);
-    void onInvAck(Entry &e, const CohMsg &msg);
-    void onWriteBack(Entry &e, const CohMsg &msg);
+    // The protocol handlers below take the tick they logically run at
+    // (@p base): the event queue's clock when invoked from a message
+    // delivery or a pooled event, or a future tick when reached
+    // through the fused fast path under canRunAt()'s guard. All their
+    // timing -- service latencies, message injection -- is relative
+    // to that base.
+    void processRequest(Entry &e, const CohMsg &msg, Tick base);
+    void onGetS(Entry &e, const CohMsg &msg, Tick base);
+    void onWrite(Entry &e, const CohMsg &msg, bool upgrade_grant,
+                 Tick base);
+    void onInvAck(Entry &e, const CohMsg &msg, Tick base);
+    void onWriteBack(Entry &e, const CohMsg &msg, Tick base);
 
     /** Grant exclusive ownership at the end of a write transaction. */
-    void grantExcl(Entry &e, BlockId blk);
+    void grantExcl(Entry &e, BlockId blk, Tick base);
 
     /** Process deferred requests until busy again or empty. */
-    void drain(BlockId blk);
+    void drain(BlockId blk, Tick base);
 
-    /** Send a message from this node after @p delay cycles. */
-    void sendAfter(Tick delay, CohMsg msg);
+    /** Send a message from this node at tick @p when. */
+    void sendAt(Tick when, CohMsg msg);
 
     // --- Speculation (Section 4) -------------------------------------
 
@@ -340,21 +390,21 @@ class Directory
     bool specEnabled() const { return mode_ != SpecMode::None && vmsp_; }
 
     /** SWI bookkeeping when a write transaction completes. */
-    void writeCompleted(BlockId blk, NodeId writer);
+    void writeCompleted(BlockId blk, NodeId writer, Tick base);
 
     /** Attempt a speculative write invalidation of @p blk owned by
      * @p writer (called when the writer moves on to another block). */
-    void trySwi(BlockId blk, NodeId writer);
+    void trySwi(BlockId blk, NodeId writer, Tick base);
 
     /** SWI recall finished: push predicted readers, open the epoch. */
-    void completeSwi(Entry &e, BlockId blk);
+    void completeSwi(Entry &e, BlockId blk, Tick base);
 
     /** First-Read trigger after serving a read for @p reader. */
-    void frCheck(Entry &e, BlockId blk, NodeId reader);
+    void frCheck(Entry &e, BlockId blk, NodeId reader, Tick base);
 
-    /** Push speculative copies to @p targets. */
+    /** Push speculative copies to @p targets at tick @p when. */
     void pushSpec(Entry &e, BlockId blk, NodeSet targets,
-                  SpecTrigger trig, const HistoryKey &key, Tick delay);
+                  SpecTrigger trig, const HistoryKey &key, Tick when);
 
     /** Premature-SWI detection at request arrival (Section 4.1). */
     void prematureCheck(const CohMsg &msg);

@@ -18,7 +18,7 @@
 #include "base/types.hh"
 #include "dsm/cache.hh"
 #include "sim/eventq.hh"
-#include "workload/trace.hh"
+#include "workload/compiled_trace.hh"
 
 namespace mspdsm
 {
@@ -42,8 +42,11 @@ class GlobalBarrier
         waiting_.reserve(parties);
     }
 
-    /** Arrive; @p resume fires when all parties have arrived. */
-    void arrive(Event &resume);
+    /**
+     * Arrive as of tick @p base; @p resume fires when all parties
+     * have arrived (@p base of the last arriver anchors the release).
+     */
+    void arrive(Event &resume, Tick base);
 
     /** Number of completed barrier episodes. */
     std::uint64_t episodes() const { return episodes_; }
@@ -62,19 +65,32 @@ struct ProcStats
     Tick requestWait = 0; //!< stall on remote coherence transactions
     Tick memWait = 0;     //!< all memory stall (incl. local)
     Tick finishTick = 0;  //!< completion time
-    std::uint64_t ops = 0;
+    std::uint64_t ops = 0; //!< compiled ops executed (fused computes
+                           //!< count once)
 };
 
 /**
- * A blocking, in-order, trace-driven processor.
+ * A blocking, in-order, trace-driven processor executing a compiled
+ * op stream.
  *
  * The processor owns a single StepEvent: a blocking in-order core has
- * at most one pending continuation (compute-delay expiry or barrier
- * resume), so every reschedule reuses the same pre-allocated object.
- * Likewise its outstanding-access table is a single embedded
- * AccessRecord (the intrusive MemCompletion handed to the cache plus
- * the issue tick), so a memory operation is issued and completed
- * without allocating or copying a callback.
+ * at most one pending continuation (compute-delay expiry, hit
+ * completion, or barrier resume), so every reschedule reuses the same
+ * pre-allocated object. Likewise its outstanding-access table is a
+ * single embedded AccessRecord (the intrusive MemCompletion handed to
+ * the cache plus the issue tick), so a memory operation is issued and
+ * completed without allocating or copying a callback.
+ *
+ * step() executes a *fused run* of local operations per invocation:
+ * compute delays and (hit-eligible) cache hits advance a virtual time
+ * ahead of the clock for as long as the event queue guarantees no
+ * other event can fire first (EventQueue::nextTick(), strictly),
+ * so a run of local ops costs one event dispatch instead of one per
+ * op. The guard makes the fusion exact: any event at or before the
+ * virtual time -- an invalidation killing a "hit", a message whose
+ * jitter draw must stay ordered -- breaks the run, and the processor
+ * falls back to scheduling its resume on the clock, which is the
+ * pre-fusion behaviour tick for tick.
  */
 class Processor
 {
@@ -87,9 +103,10 @@ class Processor
 
     /** Begin executing @p trace at the current tick. */
     void
-    start(const Trace *trace)
+    start(const CompiledTrace &trace)
     {
         trace_ = trace;
+        started_ = true;
         pc_ = 0;
         done_ = false;
         eq_.scheduleAfter(0, stepEvent_);
@@ -109,7 +126,7 @@ class Processor
     {
         explicit StepEvent(Processor *p) : proc(p) {}
 
-        void process() override { proc->step(); }
+        void process() override { proc->step(proc->clockTick()); }
 
         Processor *proc;
     };
@@ -126,20 +143,24 @@ class Processor
         {}
 
         static void
-        fired(MemCompletion &self, bool remote)
+        fired(MemCompletion &self, bool remote, Tick base)
         {
             auto &r = static_cast<AccessRecord &>(self);
-            r.proc->accessDone(r, remote);
+            r.proc->accessDone(r, remote, base);
         }
 
         Processor *proc;
         Tick issued = 0;
     };
 
-    void step();
+    /** Execute a fused run of ops as of tick @p now >= curTick(). */
+    void step(Tick now);
 
-    /** The cache completed the outstanding access. */
-    void accessDone(AccessRecord &r, bool remote);
+    /** The cache completed the outstanding access as of @p base. */
+    void accessDone(AccessRecord &r, bool remote, Tick base);
+
+    /** The event queue's clock (StepEvent dispatch anchor). */
+    Tick clockTick() const { return eq_.curTick(); }
 
     NodeId id_;
     EventQueue &eq_;
@@ -147,8 +168,9 @@ class Processor
     GlobalBarrier &barrier_;
     StepEvent stepEvent_;
     AccessRecord access_;
-    const Trace *trace_ = nullptr;
+    CompiledTrace trace_;
     std::size_t pc_ = 0;
+    bool started_ = false;
     bool done_ = false;
     ProcStats stats_;
 };

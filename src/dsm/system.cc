@@ -64,17 +64,15 @@ DsmSystem::DsmSystem(const DsmConfig &cfg)
     }
 
     for (unsigned i = 0; i < n; ++i) {
-        caches_.push_back(std::make_unique<CacheCtrl>(
-            NodeId(i), eq_, *net_, cfg_.proto));
+        caches_.emplace_back(NodeId(i), eq_, *net_, cfg_.proto);
         // Passive observers see the arrival-ordered message stream;
         // the speculation-driving VMSP is fed separately by the
         // directory in service order (see Directory::specObserve).
         std::vector<PredictorBase *> watching;
         for (auto &o : obs_[i])
             watching.push_back(o.get());
-        dirs_.push_back(std::make_unique<Directory>(
-            NodeId(i), eq_, *net_, cfg_.proto, std::move(watching),
-            vmsps_[i], cfg_.spec));
+        dirs_.emplace_back(NodeId(i), eq_, *net_, cfg_.proto,
+                           std::move(watching), vmsps_[i], cfg_.spec);
     }
 
     // Static delivery sinks: the network routes each delivered
@@ -82,12 +80,10 @@ DsmSystem::DsmSystem(const DsmConfig &cfg)
     // with direct calls (see Network::deliver), so nothing on the
     // per-message path goes through a std::function.
     for (unsigned i = 0; i < n; ++i)
-        net_->attach(NodeId(i), *caches_[i], *dirs_[i]);
+        net_->attach(NodeId(i), caches_[i], dirs_[i]);
 
-    for (unsigned i = 0; i < n; ++i) {
-        procs_.push_back(std::make_unique<Processor>(
-            NodeId(i), eq_, *caches_[i], *barrier_));
-    }
+    for (unsigned i = 0; i < n; ++i)
+        procs_.emplace_back(NodeId(i), eq_, caches_[i], *barrier_);
 }
 
 DsmSystem::~DsmSystem() = default;
@@ -98,9 +94,21 @@ DsmSystem::run(const std::vector<Trace> &traces)
     fatal_if(traces.size() != procs_.size(),
              "expected ", procs_.size(), " traces, got ",
              traces.size());
+    return run(CompiledWorkload(traces, AddrMap(cfg_.proto)));
+}
+
+RunResult
+DsmSystem::run(const CompiledWorkload &w)
+{
+    fatal_if(w.numTraces() != procs_.size(),
+             "expected ", procs_.size(), " traces, got ",
+             w.numTraces());
+    fatal_if(w.blockSize() != cfg_.proto.blockSize,
+             "workload compiled for ", w.blockSize(),
+             "-byte blocks, machine uses ", cfg_.proto.blockSize);
 
     for (std::size_t i = 0; i < procs_.size(); ++i)
-        procs_[i]->start(&traces[i]);
+        procs_[i].start(w.trace(i));
 
     const bool drained = eq_.run(cfg_.tickLimit);
 
@@ -113,25 +121,25 @@ DsmSystem::run(const std::vector<Trace> &traces)
     } else {
         // A drained queue with an unfinished trace cannot make
         // further progress: that is a protocol bug, not a guard trip.
-        for (const auto &p : procs_)
-            panic_if(!p->done(), "processor ", p->id(),
+        for (std::size_t i = 0; i < procs_.size(); ++i)
+            panic_if(!procs_[i].done(), "processor ", procs_[i].id(),
                      " did not finish its trace");
     }
-    r.execTicks = eq_.curTick();
+    r.execTicks = eq_.endTick();
     r.barrierEpisodes = barrier_->episodes();
     r.messages = net_->messagesSent();
 
     double wait_sum = 0.0;
     double mem_sum = 0.0;
-    for (const auto &p : procs_) {
-        wait_sum += static_cast<double>(p->stats().requestWait);
-        mem_sum += static_cast<double>(p->stats().memWait);
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+        wait_sum += static_cast<double>(procs_[i].stats().requestWait);
+        mem_sum += static_cast<double>(procs_[i].stats().memWait);
     }
     r.avgRequestWait = wait_sum / static_cast<double>(procs_.size());
     r.avgMemWait = mem_sum / static_cast<double>(procs_.size());
 
-    for (const auto &c : caches_) {
-        const CacheStats &cs = c->stats();
+    for (std::size_t i = 0; i < caches_.size(); ++i) {
+        const CacheStats &cs = caches_[i].stats();
         r.reads += cs.demandReads.value() + cs.specServedFr.value() +
                    cs.specServedSwi.value();
         r.writes += cs.demandWrites.value();
@@ -170,7 +178,7 @@ DsmSystem::run(const std::vector<Trace> &traces)
     };
 
     for (std::size_t i = 0; i < dirs_.size(); ++i) {
-        const SpecStats &ss = dirs_[i]->specStats();
+        const SpecStats &ss = dirs_[i].specStats();
         r.specSentFr += ss.specSentFr.value();
         r.specSentSwi += ss.specSentSwi.value();
         r.specMissFr += ss.specMissFr.value();

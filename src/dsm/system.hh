@@ -12,6 +12,8 @@
 #include <memory>
 #include <vector>
 
+#include "base/chunked_vector.hh"
+
 #include "dsm/cache.hh"
 #include "dsm/directory.hh"
 #include "dsm/processor.hh"
@@ -22,6 +24,7 @@
 #include "proto/config.hh"
 #include "sim/eventq.hh"
 #include "spec/spec.hh"
+#include "workload/compiled_trace.hh"
 #include "workload/trace.hh"
 
 namespace mspdsm
@@ -143,17 +146,29 @@ class DsmSystem
     DsmSystem &operator=(const DsmSystem &) = delete;
 
     /**
-     * Execute one trace per processor to completion.
+     * Execute one trace per processor to completion. Compiles the
+     * traces with this system's address map first; callers that run
+     * the same workload more than once should compile once and use
+     * the CompiledWorkload overload (the harness workload cache does
+     * exactly that).
      * @param traces exactly numNodes traces
      * @return aggregated statistics
      */
     RunResult run(const std::vector<Trace> &traces);
 
+    /**
+     * Execute a pre-compiled workload (one span per processor). The
+     * workload must have been compiled for this system's block
+     * geometry; it is read-only and may be shared across concurrent
+     * runs.
+     */
+    RunResult run(const CompiledWorkload &w);
+
     /** Access a node's cache controller (tests). */
-    CacheCtrl &cache(NodeId n) { return *caches_[n]; }
+    CacheCtrl &cache(NodeId n) { return caches_[n]; }
 
     /** Access a node's directory (tests). */
-    Directory &directory(NodeId n) { return *dirs_[n]; }
+    Directory &directory(NodeId n) { return dirs_[n]; }
 
     /** Access a node's speculation predictor, may be null (tests). */
     PredictorBase *predictor(NodeId n) { return preds_[n].get(); }
@@ -179,10 +194,13 @@ class DsmSystem
     std::vector<Vmsp *> vmsps_; //!< non-owning views of preds_
     //! per node, per ObserverSpec: passive observers
     std::vector<std::vector<std::unique_ptr<PredictorBase>>> obs_;
-    std::vector<std::unique_ptr<CacheCtrl>> caches_;
-    std::vector<std::unique_ptr<Directory>> dirs_;
+    // Concrete per-node agents live in chunked arenas (stable
+    // addresses, one allocation per chunk): a system is built per
+    // sweep run, so its construction is itself a front-end cost.
+    ChunkedVector<CacheCtrl, 16> caches_;
+    ChunkedVector<Directory, 16> dirs_;
     std::unique_ptr<GlobalBarrier> barrier_;
-    std::vector<std::unique_ptr<Processor>> procs_;
+    ChunkedVector<Processor, 16> procs_;
 };
 
 } // namespace mspdsm

@@ -1,5 +1,7 @@
 #include "harness/experiment.hh"
 
+#include "harness/workload_cache.hh"
+
 namespace mspdsm
 {
 
@@ -18,12 +20,12 @@ toAppParams(const ExperimentConfig &ec)
 }
 
 DsmConfig
-baseConfig(const ExperimentConfig &ec, const Workload &w)
+baseConfig(const ExperimentConfig &ec, Tick netJitter)
 {
     DsmConfig cfg;
     cfg.proto.numNodes = ec.numProcs;
     cfg.proto.seed = ec.seed;
-    cfg.proto.netJitter = w.netJitter;
+    cfg.proto.netJitter = netJitter;
     if (ec.tickLimit)
         cfg.tickLimit = ec.tickLimit;
     return cfg;
@@ -41,8 +43,11 @@ RunResult
 runAccuracy(const std::string &app, std::size_t depth,
             const ExperimentConfig &ec)
 {
-    const Workload w = buildWorkload(app, ec);
-    DsmConfig cfg = baseConfig(ec, w);
+    // One immutable compiled workload per (app, params), shared by
+    // every run of a sweep -- fig8's three depths, table3's learning
+    // curves -- instead of regenerating per configuration.
+    const auto cw = WorkloadCache::get(app, toAppParams(ec));
+    DsmConfig cfg = baseConfig(ec, cw->netJitter());
     cfg.pred = PredKind::None;
     cfg.spec = SpecMode::None;
     cfg.observers = {{PredKind::Cosmos, depth},
@@ -52,20 +57,20 @@ runAccuracy(const std::string &app, std::size_t depth,
     // A tripped deadlock guard (RunStatus::TickLimit) is reported
     // structurally: the sweep layer surfaces it in the summary table
     // and JSON record instead of a stderr warning.
-    return sys.run(w.traces);
+    return sys.run(*cw);
 }
 
 RunResult
 runSpec(const std::string &app, SpecMode mode,
         const ExperimentConfig &ec)
 {
-    const Workload w = buildWorkload(app, ec);
-    DsmConfig cfg = baseConfig(ec, w);
+    const auto cw = WorkloadCache::get(app, toAppParams(ec));
+    DsmConfig cfg = baseConfig(ec, cw->netJitter());
     cfg.pred = PredKind::Vmsp;
     cfg.historyDepth = 1;
     cfg.spec = mode;
     DsmSystem sys(cfg);
-    return sys.run(w.traces);
+    return sys.run(*cw);
 }
 
 } // namespace mspdsm

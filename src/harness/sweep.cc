@@ -10,6 +10,7 @@
 #include "base/logging.hh"
 #include "base/table.hh"
 #include "base/thread_pool.hh"
+#include "harness/workload_cache.hh"
 
 namespace mspdsm
 {
@@ -181,10 +182,18 @@ void
 SweepRunner::writeJson(std::ostream &os, const std::string &tool)
 {
     results();
+    // Workload-cache observability: a sweep over N configurations of
+    // one (app, params) must show one generation and N-1 hits here
+    // (the counters are process-wide; bench binaries run one sweep
+    // per process).
+    const WorkloadCacheStats wc = WorkloadCache::stats();
     os << "{\n  \"schema\": \"mspdsm-sweep-v1\",\n";
     os << "  \"tool\": \"" << jsonEscape(tool) << "\",\n";
     os << "  \"jobs\": " << opts_.jobs << ",\n";
     os << "  \"wall_seconds\": " << wallSeconds_ << ",\n";
+    os << "  \"workload_generations\": " << wc.generations << ",\n";
+    os << "  \"workload_cache_hits\": " << wc.hits << ",\n";
+    os << "  \"workload_gen_seconds\": " << wc.genSeconds << ",\n";
     os << "  \"guard_trips\": " << guardTrips() << ",\n";
     os << "  \"runs\": [\n";
     for (std::size_t i = 0; i < records_.size(); ++i) {

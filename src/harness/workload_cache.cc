@@ -1,0 +1,114 @@
+#include "harness/workload_cache.hh"
+
+#include <chrono>
+#include <future>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+namespace mspdsm
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Everything generation and compilation can observe. */
+using Key = std::tuple<std::string, unsigned, double, unsigned,
+                       std::uint64_t, unsigned, unsigned, unsigned>;
+
+Key
+makeKey(const std::string &app, const AppParams &p)
+{
+    return {app,          p.numProcs,        p.scale,
+            p.iterations, p.seed,            p.proto.blockSize,
+            p.proto.pageSize, p.proto.numNodes};
+}
+
+struct Cache
+{
+    std::mutex mu;
+    // Each entry is a shared_future so racing workers block on the
+    // first requester's generation instead of duplicating it; the
+    // generation itself runs outside the lock.
+    std::map<Key,
+             std::shared_future<std::shared_ptr<const CompiledWorkload>>>
+        entries;
+    WorkloadCacheStats stats;
+};
+
+Cache &
+cache()
+{
+    static Cache c;
+    return c;
+}
+
+} // namespace
+
+std::shared_ptr<const CompiledWorkload>
+WorkloadCache::get(const std::string &app, const AppParams &p)
+{
+    Cache &c = cache();
+    std::promise<std::shared_ptr<const CompiledWorkload>> promise;
+    std::shared_future<std::shared_ptr<const CompiledWorkload>> fut;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(c.mu);
+        auto [it, inserted] =
+            c.entries.try_emplace(makeKey(app, p), promise.get_future());
+        if (inserted) {
+            owner = true;
+            ++c.stats.generations;
+        } else {
+            ++c.stats.hits;
+        }
+        fut = it->second;
+    }
+    if (owner) {
+        try {
+            const auto t0 = Clock::now();
+            auto cw = std::make_shared<const CompiledWorkload>(
+                makeApp(app, p), AddrMap(p.proto));
+            const double secs =
+                std::chrono::duration<double>(Clock::now() - t0).count();
+            {
+                std::lock_guard<std::mutex> lock(c.mu);
+                c.stats.genSeconds += secs;
+            }
+            promise.set_value(std::move(cw));
+        } catch (...) {
+            // Hand the failure to everyone already waiting, then
+            // drop the entry so later requests retry instead of
+            // inheriting a permanently broken promise.
+            promise.set_exception(std::current_exception());
+            {
+                std::lock_guard<std::mutex> lock(c.mu);
+                c.entries.erase(makeKey(app, p));
+                --c.stats.generations;
+            }
+            throw;
+        }
+    }
+    return fut.get();
+}
+
+WorkloadCacheStats
+WorkloadCache::stats()
+{
+    Cache &c = cache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    return c.stats;
+}
+
+void
+WorkloadCache::clear()
+{
+    Cache &c = cache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.entries.clear();
+    c.stats = WorkloadCacheStats{};
+}
+
+} // namespace mspdsm

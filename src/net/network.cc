@@ -11,6 +11,7 @@ namespace mspdsm
 
 Network::Network(EventQueue &eq, const ProtoConfig &cfg, Rng rng)
     : eq_(eq), cfg_(cfg), rng_(rng),
+      jitter_(0, cfg.netJitter > 0 ? cfg.netJitter : 0),
       sinks_(cfg.numNodes),
       egressFree_(cfg.numNodes, 0),
       ingressFree_(cfg.numNodes, 0),
@@ -34,7 +35,7 @@ Network::attach(NodeId n, RawDeliver fn, void *ctx)
 }
 
 void
-Network::deliver(const CohMsg &msg)
+Network::deliver(const CohMsg &msg, Tick base)
 {
     const Sink &s = sinks_[msg.dst];
     if (s.cache) [[likely]] {
@@ -42,28 +43,35 @@ Network::deliver(const CohMsg &msg)
         // acknowledgements go to the home directory, commands and
         // data responses to the cache controller.
         if (routesToDirectory(msg.type))
-            s.dir->handle(msg);
+            s.dir->handle(msg, base);
         else
-            s.cache->handle(msg);
+            s.cache->handle(msg, base);
         return;
     }
     s.fn(s.ctx, msg);
 }
 
 void
-Network::send(CohMsg msg)
+Network::sendAt(Tick base, CohMsg msg)
 {
     panic_if(msg.src >= cfg_.numNodes || msg.dst >= cfg_.numNodes,
              "send: bad endpoints in ", msg.toString());
     panic_if(!sinks_[msg.dst].attached(), "send: node ", msg.dst,
              " has no sink");
+    panic_if(base < eq_.curTick(), "sendAt: base tick in the past");
     sent_.inc();
 
-    const Tick now = eq_.curTick();
+    const Tick now = base;
 
     if (msg.src == msg.dst) {
         // Local traffic (processor to its own home directory and
-        // back) crosses only the node's bus.
+        // back) crosses only the node's bus. Deliberately NOT fused:
+        // a sender may have logically-earlier work left after this
+        // call (a directory grant sends its reply before its SWI
+        // bookkeeping sends a recall), and an inline delivery here
+        // could run a whole downstream chain ahead of it. Deliveries
+        // only fuse where the caller stack is empty -- the event
+        // handler in fired().
         NetEvent &e = pool_.acquire(this);
         e.msg = msg;
         e.arrived = true; // straight to delivery
@@ -87,7 +95,7 @@ Network::send(CohMsg msg)
     // the same home). Messages from *different* sources still race.
     Tick flight = cfg_.netLatency;
     if (cfg_.netJitter > 0)
-        flight += rng_.uniform(0, cfg_.netJitter);
+        flight += jitter_(rng_);
     Tick arrival = departure + flight;
     const std::size_t pair = msg.src * cfg_.numNodes + msg.dst;
     if (arrival <= pairLast_[pair])
@@ -98,6 +106,25 @@ Network::send(CohMsg msg)
     // that messages contend in arrival order. Reserving at send time
     // would force delivery in injection order and suppress exactly
     // the message re-ordering the predictors are sensitive to.
+    //
+    // Fused fast path: when nothing can fire at or before the
+    // arrival, no other message can arrive (and hence reserve the
+    // ingress NI) first, so the arrival-ordered reservation may
+    // happen right now and the message rides a single delivery
+    // event instead of an arrival stage plus a delivery stage. The
+    // delivery itself stays an event (never inline from a send; see
+    // the local-traffic comment above).
+    if (fusible(msg.dst) && eq_.canFuseBefore(arrival)) {
+        const Tick start = std::max(arrival, ingressFree_[msg.dst]);
+        queued_.inc(start - arrival);
+        const Tick delivered = start + occ;
+        ingressFree_[msg.dst] = delivered;
+        NetEvent &e = pool_.acquire(this);
+        e.msg = msg;
+        e.arrived = true;
+        eq_.schedule(delivered, e);
+        return;
+    }
     NetEvent &e = pool_.acquire(this);
     e.msg = msg;
     e.occ = occ;
@@ -117,6 +144,16 @@ Network::fired(NetEvent &e)
         queued_.inc(start - arr);
         const Tick delivered = start + e.occ;
         ingressFree_[e.msg.dst] = delivered;
+        if (fusible(e.msg.dst) && eq_.canFuseBefore(delivered)) {
+            // Fused: the NI occupancy window is event-free, so the
+            // delivery runs inline instead of re-riding the event.
+            const CohMsg msg = e.msg;
+            pool_.release(e);
+            FuseScope scope(this);
+            eq_.noteFused(delivered);
+            deliver(msg, delivered);
+            return;
+        }
         eq_.schedule(delivered, e);
         return;
     }
@@ -124,7 +161,7 @@ Network::fired(NetEvent &e)
     // handler may send again and reuse this very slot.
     const CohMsg msg = e.msg;
     pool_.release(e);
-    deliver(msg);
+    deliver(msg, eq_.curTick());
 }
 
 } // namespace mspdsm

@@ -71,7 +71,19 @@ class Network
     void attach(NodeId n, RawDeliver fn, void *ctx);
 
     /** Inject @p msg at its source NI at the current tick. */
-    void send(CohMsg msg);
+    void send(CohMsg msg) { sendAt(eq_.curTick(), msg); }
+
+    /**
+     * Inject @p msg at its source NI at tick @p base >= curTick().
+     * This is the fused-run fast path's injection point: a processor
+     * executing ahead of the clock (legal only while no other event
+     * can fire first, so no other send can interleave) issues its
+     * next miss with the virtual issue tick as the injection base,
+     * and every downstream time -- egress occupancy, flight, jitter
+     * draw order, arrival -- comes out exactly as if the send had
+     * happened on the clock.
+     */
+    void sendAt(Tick base, CohMsg msg);
 
     /** Messages sent so far. */
     std::uint64_t messagesSent() const { return sent_.value(); }
@@ -110,17 +122,54 @@ class Network
     /** Stage dispatch for a pooled NetEvent. */
     void fired(NetEvent &e);
 
-    /** Hand @p msg to its destination sink (defined in network.cc). */
-    void deliver(const CohMsg &msg);
+    /**
+     * Hand @p msg to its destination sink as of tick @p base
+     * (defined in network.cc). @p base == curTick() when reached by
+     * a delivery event, ahead of the clock on the fused fast path.
+     */
+    void deliver(const CohMsg &msg, Tick base);
+
+    /**
+     * True iff node @p n's sink may be driven ahead of the clock: a
+     * full protocol node anchors all its timing on the base tick the
+     * delivery hands it. Raw test hooks are excluded -- they are
+     * entitled to read the clock -- so attaching one pins that node
+     * to the pre-fusion event-per-stage behaviour.
+     *
+     * The depth cap bounds fused *chains*: in a quiet system a local
+     * transaction's delivery re-enters the processor, which issues
+     * the next access, which delivers again -- recursion that could
+     * otherwise walk an entire trace in one stack. Past the cap the
+     * send falls back to the pooled event, which is behaviourally
+     * identical (that is the whole fusion invariant), so the cap
+     * trades only constant factors, never results.
+     */
+    bool
+    fusible(NodeId n) const
+    {
+        return sinks_[n].cache != nullptr && fuseDepth_ < maxFuseDepth;
+    }
+
+    /** RAII depth guard for an inline (fused) delivery. */
+    struct FuseScope
+    {
+        explicit FuseScope(Network *n) : net(n) { ++net->fuseDepth_; }
+        ~FuseScope() { --net->fuseDepth_; }
+        Network *net;
+    };
+
+    static constexpr unsigned maxFuseDepth = 64;
 
     EventQueue &eq_;
     const ProtoConfig &cfg_;
     Rng rng_;
+    BoundedDraw jitter_; //!< [0, netJitter] draw, threshold hoisted
     std::vector<Sink> sinks_;
     std::vector<Tick> egressFree_; //!< next free tick per source NI
     std::vector<Tick> ingressFree_; //!< next free tick per dest NI
     std::vector<Tick> pairLast_; //!< last arrival per (src,dst) pair
     EventPool<NetEvent> pool_;
+    unsigned fuseDepth_ = 0; //!< live inline deliveries on the stack
     Counter sent_;
     Counter queued_;
 };

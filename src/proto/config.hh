@@ -141,6 +141,9 @@ class AddrMap
                                               : page % nodes_);
     }
 
+    /** Block size the mapping was built with, in bytes. */
+    unsigned blockSizeBytes() const { return blockSize_; }
+
   private:
     unsigned blockSize_;
     unsigned bpp_;

@@ -37,20 +37,6 @@ msgTypeName(MsgType t)
     panic("unknown MsgType ", int(t));
 }
 
-bool
-isRequest(MsgType t)
-{
-    return t == MsgType::GetS || t == MsgType::GetX ||
-           t == MsgType::Upgrade;
-}
-
-bool
-carriesData(MsgType t)
-{
-    return t == MsgType::WriteBack || t == MsgType::DataShared ||
-           t == MsgType::DataExcl || t == MsgType::SpecData;
-}
-
 std::string
 CohMsg::toString() const
 {

@@ -47,10 +47,21 @@ enum class MsgType : std::uint8_t
 const char *msgTypeName(MsgType t);
 
 /** @return true for GetS / GetX / Upgrade. */
-bool isRequest(MsgType t);
+constexpr bool
+isRequest(MsgType t)
+{
+    return t == MsgType::GetS || t == MsgType::GetX ||
+           t == MsgType::Upgrade;
+}
 
-/** @return true for messages that carry a data block (wider NI slot). */
-bool carriesData(MsgType t);
+/** @return true for messages that carry a data block (wider NI slot).
+ * Evaluated once per network send, so it lives in the header. */
+constexpr bool
+carriesData(MsgType t)
+{
+    return t == MsgType::WriteBack || t == MsgType::DataShared ||
+           t == MsgType::DataExcl || t == MsgType::SpecData;
+}
 
 /** Why a speculative read-only copy was pushed to a consumer. */
 enum class SpecTrigger : std::uint8_t

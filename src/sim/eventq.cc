@@ -19,6 +19,8 @@ EventQueue::schedule(Tick when, Event &ev)
     ev.seq_ = nextSeq_++;
     ev.scheduled_ = true;
     ev.next_ = nullptr;
+    if (minValid_ && when < minHint_)
+        minHint_ = when;
     // wheelBase_ == curTick_, so the gigatick delta never underflows.
     const Tick gDelta = gigaOf(when) - gigaOf(wheelBase_);
     if (gDelta <= 1) [[likely]]
@@ -62,6 +64,8 @@ EventQueue::deschedule(Event &ev)
 {
     if (!ev.scheduled_)
         return false;
+    if (minValid_ && ev.when_ <= minHint_)
+        minValid_ = false;
     // The wheel invariants make an event's level a pure function of
     // its tick: gigaticks curG/curG+1 live in the near wheel, the
     // next 254 in the far wheel, everything beyond in the heap.
@@ -229,6 +233,7 @@ EventQueue::advanceTo(Tick t)
 bool
 EventQueue::run(Tick limit)
 {
+    runLimit_ = limit; // canFuseBefore() honours the guard too
     while (pending() > 0) {
         const Tick next =
             wheelCount_ > 0 ? nextWheelTick() : nextFarTick();
@@ -236,21 +241,33 @@ EventQueue::run(Tick limit)
             return false;
         advanceTo(next);
 
+        // The occupancy bit tracks the bucket exactly, including
+        // while handlers run: it is cleared the moment a pop empties
+        // the bucket and re-set by enqueueWheel when a handler
+        // schedules more same-tick work. nextTick() peeks from inside
+        // process() -- the fused-run guard -- depend on this.
         Bucket &b = buckets_[next & wheelMask];
         while (Event *e = b.head) {
             b.head = e->next_;
-            if (!b.head)
+            if (!b.head) {
                 b.tail = nullptr;
+                occupied_[(next & wheelMask) / 64] &=
+                    ~(std::uint64_t{1} << (next & 63));
+            }
             --wheelCount_;
             e->next_ = nullptr;
             e->scheduled_ = false;
             ++executed_;
+            // While same-tick events remain, the queue minimum is
+            // exactly this tick; once the bucket empties it must be
+            // recomputed on demand. Handlers' fused-path guards read
+            // the hint through nextTick().
+            minHint_ = next;
+            minValid_ = b.head != nullptr;
             // process() may schedule new events, including into this
             // very bucket (same-tick work is drained in FIFO order).
             e->process();
         }
-        occupied_[(next & wheelMask) / 64] &=
-            ~(std::uint64_t{1} << (next & 63));
     }
     return true;
 }

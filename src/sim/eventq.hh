@@ -32,6 +32,7 @@
 #ifndef MSPDSM_SIM_EVENTQ_HH
 #define MSPDSM_SIM_EVENTQ_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
@@ -158,6 +159,89 @@ class EventQueue
     {
         return wheelCount_ + farCount_ + heap_.size();
     }
+
+    /**
+     * Tick of the earliest pending event without removing it, or
+     * maxTick when the queue is empty. Exact even while an event is
+     * being processed: remaining same-tick events report curTick().
+     * This is the guard the processor's fused-run fast path relies on
+     * -- executing trace operations ahead of the clock is only safe
+     * while nothing else can fire first -- and a useful diagnostic on
+     * its own.
+     */
+    Tick
+    nextTick() const
+    {
+        if (minValid_) [[likely]]
+            return minHint_;
+        if (pending() == 0)
+            return maxTick;
+        minHint_ = wheelCount_ > 0 ? nextWheelTick() : nextFarTick();
+        minValid_ = true;
+        return minHint_;
+    }
+
+    /**
+     * The fused fast paths' guard: true iff nothing can fire at or
+     * before @p when, so deferred work based at @p when may run
+     * immediately. Semantically `when < nextTick()`, with two cost
+     * controls on top:
+     *
+     *  - while the queue minimum is memoized (minHint_), the answer
+     *    is exact and costs a compare;
+     *  - when answering would need a fresh bitmap scan, the guard is
+     *    *budgeted*: after repeated scan-and-fail outcomes it starts
+     *    declining without scanning (exponential backoff, reset by
+     *    any success). Declining is always sound -- the caller just
+     *    takes the pooled-event path, which is behaviourally
+     *    identical -- so the backoff trades only elision rate, never
+     *    results, and keeps the guard free on workloads too dense to
+     *    fuse while staying fully active on quiet ones. The skip
+     *    counter is queue state, so runs remain deterministic.
+     */
+    bool
+    canFuseBefore(Tick when)
+    {
+        // Never fuse past the run's tick limit: pre-fusion, work at
+        // such a tick would have been an event run() refuses to fire
+        // (the deadlock guard), and fused execution must refuse it
+        // identically or a tick-limited run would misreport Completed.
+        if (when > runLimit_)
+            return false;
+        if (minValid_) [[likely]]
+            return when < minHint_;
+        if (fuseSkip_ > 0) {
+            --fuseSkip_;
+            return false;
+        }
+        if (when < nextTick()) {
+            fuseFails_ = 0;
+            return true;
+        }
+        fuseSkip_ = 1u << (fuseFails_ < 6 ? fuseFails_ : 6);
+        ++fuseFails_;
+        return false;
+    }
+
+    /**
+     * Record work performed ahead of the clock by a fused fast path.
+     * The clock itself only advances on events; a fused chain running
+     * against an otherwise empty queue (horizon == maxTick) would be
+     * invisible to it, so components note the base tick of fused work
+     * and endTick() folds the watermark in.
+     */
+    void
+    noteFused(Tick t)
+    {
+        if (t > fusedTime_)
+            fusedTime_ = t;
+    }
+
+    /**
+     * The logical end time of the simulation: the clock, or the
+     * latest fused work if that ran past the final event.
+     */
+    Tick endTick() const { return std::max(curTick_, fusedTime_); }
 
     /**
      * Run until the queue drains or an event beyond @p limit is next.
@@ -326,6 +410,19 @@ class EventQueue
     EventPool<LambdaEvent> lambdaPool_;
 
     Tick curTick_ = 0;
+    Tick fusedTime_ = 0; //!< watermark of work done ahead of the clock
+    /**
+     * Memo of the earliest pending tick, shared by every fused-path
+     * guard within one event handler (they would otherwise each pay
+     * a bitmap scan). Exact while valid: scheduling can only lower
+     * it (folded in eagerly), popping the minimum or descheduling an
+     * event at it invalidates it.
+     */
+    mutable Tick minHint_ = 0;
+    mutable bool minValid_ = false;
+    Tick runLimit_ = maxTick; //!< active run()'s deadlock-guard limit
+    unsigned fuseSkip_ = 0;  //!< guard scans to decline outright
+    unsigned fuseFails_ = 0; //!< consecutive scan-and-fail outcomes
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
 };

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Trace compilation: the workload front end the processors execute.
+ *
+ * Generators keep emitting 24-byte TraceOps (convenient to build and
+ * to test against), but the simulator never executes them directly
+ * any more. Before a run, each Trace is *compiled* into a flat arena
+ * of packed 8-byte ops:
+ *
+ *  - the BlockId is precomputed from the run's AddrMap, so the
+ *    per-access address-to-block mapping disappears from the hot
+ *    loop (a memory op's payload IS its block);
+ *  - consecutive Compute ops are fused into a single delay -- a pure
+ *    timing transformation, since back-to-back delays touch no state
+ *    the rest of the machine can observe between them;
+ *  - memory ops are annotated with a *hit-eligibility* bit: set iff
+ *    this trace accessed the block before (for a write: wrote it
+ *    before), i.e. iff the access can possibly be served node-locally.
+ *    The bit is a pure optimization hint -- the processor only probes
+ *    the cache's fast hit path when it is set, and a hinted op that
+ *    lost its copy to an invalidation simply falls through to the
+ *    demand path -- so mis-annotation can cost time but never
+ *    correctness or timing.
+ *
+ * A round-trip decoder reconstructs the TraceOp stream for tests:
+ * decode(compile(t)) == canonicalTrace(t), where the canonical form
+ * differs from the original only by compute fusion and block
+ * alignment of addresses, both timing-invariant (every generator
+ * emits block-aligned addresses already).
+ */
+
+#ifndef MSPDSM_WORKLOAD_COMPILED_TRACE_HH
+#define MSPDSM_WORKLOAD_COMPILED_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "proto/config.hh"
+#include "workload/trace.hh"
+
+namespace mspdsm
+{
+
+/**
+ * One packed trace operation: 2 bits of kind, 1 bit of hit hint, 61
+ * bits of payload (BlockId for memory ops, fused cycle count for
+ * Compute, 0 for Barrier). The processors stream billions of these,
+ * so the layout is a single word: one load, a mask, and a shift per
+ * decoded field.
+ */
+struct CompiledOp
+{
+    std::uint64_t bits = 0;
+
+    static constexpr unsigned kindBits = 2;
+    static constexpr unsigned hintShift = kindBits;
+    static constexpr unsigned payloadShift = kindBits + 1;
+    static constexpr std::uint64_t kindMask = (1u << kindBits) - 1;
+    static constexpr std::uint64_t payloadMax =
+        ~std::uint64_t{0} >> payloadShift;
+
+    static CompiledOp
+    make(OpKind k, std::uint64_t payload, bool hint = false)
+    {
+        CompiledOp op;
+        op.bits = static_cast<std::uint64_t>(k) |
+                  (std::uint64_t{hint} << hintShift) |
+                  (payload << payloadShift);
+        return op;
+    }
+
+    OpKind kind() const { return static_cast<OpKind>(bits & kindMask); }
+
+    /** Hit-eligibility hint (meaningful for Read/Write). */
+    bool hitEligible() const { return bits >> hintShift & 1; }
+
+    /** BlockId (Read/Write) or fused delay in cycles (Compute). */
+    std::uint64_t payload() const { return bits >> payloadShift; }
+
+    bool operator==(const CompiledOp &) const = default;
+};
+
+static_assert(sizeof(CompiledOp) == 8,
+              "packed compiled op is streamed once per executed trace "
+              "operation; keep it one word");
+
+/**
+ * A per-processor view into the compiled arena: pointer + length,
+ * nothing owned. Spans stay valid for the lifetime of the
+ * CompiledWorkload they came from.
+ */
+struct CompiledTrace
+{
+    const CompiledOp *ops = nullptr;
+    std::size_t count = 0;
+
+    const CompiledOp *begin() const { return ops; }
+    const CompiledOp *end() const { return ops + count; }
+    std::size_t size() const { return count; }
+    const CompiledOp &operator[](std::size_t i) const { return ops[i]; }
+};
+
+/**
+ * A fully compiled workload: one flat arena of packed ops for all
+ * processors plus per-processor spans. Immutable after compilation,
+ * so one instance can be shared by any number of concurrent runs
+ * (the harness workload cache relies on this).
+ */
+class CompiledWorkload
+{
+  public:
+    /** Compile @p w with the run's address mapping. */
+    CompiledWorkload(const Workload &w, const AddrMap &map);
+
+    /** Compile bare traces (no name/jitter; tests and direct runs). */
+    CompiledWorkload(const std::vector<Trace> &traces,
+                     const AddrMap &map);
+
+    /** Workload name (e.g. "em3d"). */
+    const std::string &name() const { return name_; }
+
+    /** Per-app network queueing/contention level. */
+    Tick netJitter() const { return netJitter_; }
+
+    /** Number of per-processor traces. */
+    std::size_t numTraces() const { return spans_.size(); }
+
+    /** Processor @p i's compiled op span. */
+    CompiledTrace
+    trace(std::size_t i) const
+    {
+        const Span &s = spans_[i];
+        return CompiledTrace{arena_.data() + s.offset, s.count};
+    }
+
+    /** Total packed ops across all processors. */
+    std::size_t totalOps() const { return arena_.size(); }
+
+    /** TraceOps in the source workload (compile ratio diagnostics). */
+    std::size_t sourceOps() const { return sourceOps_; }
+
+    /** Geometry the block ids were computed with. */
+    unsigned blockSize() const { return blockSize_; }
+
+  private:
+    struct Span
+    {
+        std::uint64_t offset = 0;
+        std::uint64_t count = 0;
+    };
+
+    std::string name_;
+    Tick netJitter_ = 0;
+    unsigned blockSize_ = 0;
+    std::size_t sourceOps_ = 0;
+    std::vector<CompiledOp> arena_;
+    std::vector<Span> spans_;
+};
+
+/**
+ * Compile one trace (without workload bookkeeping); appends to
+ * @p out and returns the number of ops emitted. Exposed for tests
+ * and the compile microbench.
+ */
+std::size_t compileTrace(const Trace &t, const AddrMap &map,
+                         std::vector<CompiledOp> &out);
+
+/**
+ * Decode a compiled span back into TraceOps. Addresses come back
+ * block-aligned (blk * blockSize); fused computes stay fused.
+ */
+Trace decodeTrace(const CompiledTrace &t, unsigned blockSize);
+
+/**
+ * The canonical form of a trace: consecutive Compute ops merged,
+ * zero-cycle computes dropped, and addresses aligned down to their
+ * block. decode(compile(t)) == canonicalTrace(t) for every trace;
+ * for the repo's generators (which emit aligned addresses and whose
+ * builders already drop zero delays) the canonical form is also
+ * cycle-for-cycle identical to the original.
+ */
+Trace canonicalTrace(const Trace &t, const AddrMap &map);
+
+} // namespace mspdsm
+
+#endif // MSPDSM_WORKLOAD_COMPILED_TRACE_HH

@@ -62,6 +62,24 @@ TEST(TickLimit, GuardedRunIsResumable)
     EXPECT_GT(sysGuarded.eventQueue().curTick(), Tick{500});
 }
 
+TEST(TickLimit, FusedRunsHonourTheGuard)
+{
+    // Regression: the processor's fused fast path executes ahead of
+    // the clock, and against an otherwise empty queue its horizon
+    // guard is vacuous -- the only remaining backstop is the run
+    // limit itself. The last processor to start (everyone else has
+    // an empty trace) must still trip the guard, not fuse straight
+    // through it and report Completed.
+    DsmConfig cfg = smallConfig();
+    cfg.tickLimit = 500;
+    DsmSystem sys(cfg);
+    std::vector<Trace> ts(4);
+    ts[3] = longTrace(cfg.tickLimit);
+    const RunResult r = sys.run(ts);
+    EXPECT_EQ(r.status, RunStatus::TickLimit);
+    EXPECT_LE(r.execTicks, cfg.tickLimit);
+}
+
 TEST(TickLimit, EventsExactlyAtLimitExecute)
 {
     // EventQueue::run(limit) is inclusive: an event at the limit tick

@@ -119,21 +119,23 @@ struct PingPong
     };
 
     static void
-    readerDone(MemCompletion &self, bool)
+    readerDone(MemCompletion &self, bool, Tick base)
     {
         PingPong *pp = static_cast<ReaderDone &>(self).owner;
-        // Node 0 (the home) writes the block next.
-        pp->caches[0]->access(0, true, pp->writer);
+        // Node 0 (the home) writes the block next. The completion may
+        // arrive through the fused fast path (ahead of the clock), so
+        // the follow-on access anchors on the completion tick.
+        pp->caches[0]->accessAt(0, true, pp->writer, base);
     }
 
     static void
-    writerDone(MemCompletion &self, bool)
+    writerDone(MemCompletion &self, bool, Tick base)
     {
         PingPong *pp = static_cast<WriterDone &>(self).owner;
         if (--pp->cyclesLeft == 0)
             return;
         // Node 1 reads it back: recall + writeback at the home.
-        pp->caches[1]->access(0, false, pp->reader);
+        pp->caches[1]->accessAt(0, false, pp->reader, base);
     }
 
     /** Run @p cycles full read/write cycles to completion. */
@@ -191,11 +193,11 @@ TEST(ZeroAlloc, HitPathDoesNotAllocate)
         {}
 
         static void
-        fired(MemCompletion &self, bool)
+        fired(MemCompletion &self, bool, Tick base)
         {
             auto &h = static_cast<HitLoop &>(self);
             if (--h.left > 0)
-                h.cache->access(0, true, h);
+                h.cache->accessAt(0, true, h, base);
         }
 
         CacheCtrl *cache;

@@ -1,0 +1,104 @@
+/** @file Unit tests for EventQueue::nextTick() (peek without pop).
+ *
+ * The peek is the safety guard of the processor's fused-run fast
+ * path: executing trace operations ahead of the clock is only legal
+ * while no other event can fire first, so the peek must be exact in
+ * every queue state -- empty, near wheel, far wheel, overflow heap,
+ * and (the subtle one) from inside a handler while same-tick events
+ * are still pending.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/eventq.hh"
+
+using namespace mspdsm;
+
+TEST(NextTick, EmptyQueueReportsMaxTick)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.nextTick(), maxTick);
+}
+
+TEST(NextTick, ReportsEarliestWithoutPopping)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(30, [&] { ++fired; });
+    eq.schedule(10, [&] { ++fired; });
+    EXPECT_EQ(eq.nextTick(), 10u);
+    EXPECT_EQ(eq.pending(), 2u);
+    EXPECT_EQ(fired, 0); // peek must not execute anything
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(eq.nextTick(), maxTick);
+}
+
+TEST(NextTick, CoversFarWheelAndOverflowHeap)
+{
+    // Far wheel: a few gigaticks out. Overflow heap: beyond ~1M.
+    {
+        EventQueue eq;
+        eq.schedule(Tick{50} << 12, [] {});
+        EXPECT_EQ(eq.nextTick(), Tick{50} << 12);
+    }
+    {
+        EventQueue eq;
+        eq.schedule(Tick{1} << 40, [] {});
+        EXPECT_EQ(eq.nextTick(), Tick{1} << 40);
+    }
+    {
+        // Both levels populated: the near one wins.
+        EventQueue eq;
+        eq.schedule(Tick{1} << 40, [] {});
+        eq.schedule(Tick{50} << 12, [] {});
+        eq.schedule(77, [] {});
+        EXPECT_EQ(eq.nextTick(), 77u);
+    }
+}
+
+TEST(NextTick, SeesRemainingSameTickEventsFromInsideHandler)
+{
+    EventQueue eq;
+    std::vector<Tick> peeks;
+    eq.schedule(5, [&] { peeks.push_back(eq.nextTick()); });
+    eq.schedule(5, [&] { peeks.push_back(eq.nextTick()); });
+    eq.schedule(40, [&] { peeks.push_back(eq.nextTick()); });
+    EXPECT_TRUE(eq.run());
+    // First handler still has a tick-5 sibling pending; the second
+    // sees only the tick-40 event; the last sees an empty queue.
+    EXPECT_EQ(peeks, (std::vector<Tick>{5, 40, maxTick}));
+}
+
+TEST(NextTick, SameTickScheduleFromHandlerIsVisible)
+{
+    EventQueue eq;
+    std::vector<Tick> peeks;
+    eq.schedule(9, [&] {
+        eq.scheduleAfter(0, [&] { peeks.push_back(eq.nextTick()); });
+        peeks.push_back(eq.nextTick());
+    });
+    eq.schedule(25, [] {});
+    EXPECT_TRUE(eq.run());
+    // The outer handler's peek sees the same-tick event it just
+    // scheduled; the inner one sees only the tick-25 event.
+    EXPECT_EQ(peeks, (std::vector<Tick>{9, 25}));
+}
+
+TEST(NextTick, DescheduleUpdatesThePeek)
+{
+    struct Noop final : Event
+    {
+        void process() override {}
+    } a, b;
+
+    EventQueue eq;
+    eq.schedule(3, a);
+    eq.schedule(8, b);
+    EXPECT_EQ(eq.nextTick(), 3u);
+    EXPECT_TRUE(eq.deschedule(a));
+    EXPECT_EQ(eq.nextTick(), 8u);
+    EXPECT_TRUE(eq.deschedule(b));
+    EXPECT_EQ(eq.nextTick(), maxTick);
+}
