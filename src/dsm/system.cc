@@ -94,7 +94,16 @@ DsmSystem::run(const std::vector<Trace> &traces)
     fatal_if(traces.size() != procs_.size(),
              "expected ", procs_.size(), " traces, got ",
              traces.size());
-    return run(CompiledWorkload(traces, AddrMap(cfg_.proto)));
+    // The compilation must outlive this call, not just the nested
+    // run(): on a TickLimit trip the queue stays resumable
+    // (tests/dsm/test_ticklimit.cc) and the pending step events hold
+    // CompiledTrace spans into the workload's arena, so it is parked
+    // on the system. Replacing a previous run's arena here is safe:
+    // no event dispatches between the assignment and Processor::start
+    // rebinding every span in the nested run().
+    ownedWorkload_ = std::make_unique<const CompiledWorkload>(
+        traces, AddrMap(cfg_.proto));
+    return run(*ownedWorkload_);
 }
 
 RunResult

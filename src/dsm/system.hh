@@ -160,7 +160,12 @@ class DsmSystem
      * Execute a pre-compiled workload (one span per processor). The
      * workload must have been compiled for this system's block
      * geometry; it is read-only and may be shared across concurrent
-     * runs.
+     * runs. It must stay alive for the whole pending run, not just
+     * this call: a TickLimit trip returns with resumable step events
+     * whose CompiledTrace spans point into the workload's arena, so
+     * the caller may only destroy it once the run has drained (the
+     * trace overload keeps its own compilation alive on the system
+     * for exactly this reason).
      */
     RunResult run(const CompiledWorkload &w);
 
@@ -201,6 +206,10 @@ class DsmSystem
     ChunkedVector<Directory, 16> dirs_;
     std::unique_ptr<GlobalBarrier> barrier_;
     ChunkedVector<Processor, 16> procs_;
+    //! Workload compiled by run(const std::vector<Trace>&); owned by
+    //! the system (not the call's stack frame) because a TickLimit
+    //! trip leaves the queue resumable with spans into its arena.
+    std::unique_ptr<const CompiledWorkload> ownedWorkload_;
 };
 
 } // namespace mspdsm

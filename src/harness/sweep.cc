@@ -193,6 +193,7 @@ SweepRunner::writeJson(std::ostream &os, const std::string &tool)
     os << "  \"wall_seconds\": " << wallSeconds_ << ",\n";
     os << "  \"workload_generations\": " << wc.generations << ",\n";
     os << "  \"workload_cache_hits\": " << wc.hits << ",\n";
+    os << "  \"workload_gen_failures\": " << wc.failures << ",\n";
     os << "  \"workload_gen_seconds\": " << wc.genSeconds << ",\n";
     os << "  \"guard_trips\": " << guardTrips() << ",\n";
     os << "  \"runs\": [\n";

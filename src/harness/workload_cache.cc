@@ -1,10 +1,14 @@
 #include "harness/workload_cache.hh"
 
+#include <bit>
 #include <chrono>
+#include <cmath>
 #include <future>
 #include <map>
 #include <mutex>
 #include <tuple>
+
+#include "base/logging.hh"
 
 namespace mspdsm
 {
@@ -15,13 +19,22 @@ namespace
 using Clock = std::chrono::steady_clock;
 
 /** Everything generation and compilation can observe. */
-using Key = std::tuple<std::string, unsigned, double, unsigned,
+using Key = std::tuple<std::string, unsigned, std::uint64_t, unsigned,
                        std::uint64_t, unsigned, unsigned, unsigned>;
 
 Key
 makeKey(const std::string &app, const AppParams &p)
 {
-    return {app,          p.numProcs,        p.scale,
+    // scale enters the ordered map key as its bit pattern: keying on
+    // the raw double would let a NaN (for which operator< is always
+    // false) violate the map's strict weak ordering and silently
+    // corrupt lookups, so non-finite scales are rejected outright.
+    panic_if(!std::isfinite(p.scale), "non-finite AppParams::scale ",
+             p.scale, " for app ", app);
+    // Normalize -0.0 so the two equal zeros keep sharing one entry.
+    const double scale = p.scale == 0.0 ? 0.0 : p.scale;
+    return {app,          p.numProcs,
+            std::bit_cast<std::uint64_t>(scale),
             p.iterations, p.seed,            p.proto.blockSize,
             p.proto.pageSize, p.proto.numNodes};
 }
@@ -61,8 +74,6 @@ WorkloadCache::get(const std::string &app, const AppParams &p)
         if (inserted) {
             owner = true;
             ++c.stats.generations;
-        } else {
-            ++c.stats.hits;
         }
         fut = it->second;
     }
@@ -79,19 +90,31 @@ WorkloadCache::get(const std::string &app, const AppParams &p)
             }
             promise.set_value(std::move(cw));
         } catch (...) {
-            // Hand the failure to everyone already waiting, then
-            // drop the entry so later requests retry instead of
-            // inheriting a permanently broken promise.
-            promise.set_exception(std::current_exception());
+            // Unpublish before handing the failure to the waiters
+            // already blocked on the future: once the entry is gone,
+            // no later requester can inherit the broken future (they
+            // re-insert and retry as owners). The generation stays
+            // counted -- it really ran -- and the failure is tallied
+            // separately so the sweep JSON counters stay consistent.
             {
                 std::lock_guard<std::mutex> lock(c.mu);
                 c.entries.erase(makeKey(app, p));
-                --c.stats.generations;
+                ++c.stats.failures;
             }
+            promise.set_exception(std::current_exception());
             throw;
         }
     }
-    return fut.get();
+    // A hit is a request the cache actually served: count it only
+    // once the shared future delivers a workload, so waiters that
+    // inherit the owner's exception (they rethrow here and retry)
+    // never inflate the counter.
+    auto cw = fut.get();
+    if (!owner) {
+        std::lock_guard<std::mutex> lock(c.mu);
+        ++c.stats.hits;
+    }
+    return cw;
 }
 
 WorkloadCacheStats

@@ -36,6 +36,9 @@ struct WorkloadCacheStats
 {
     std::uint64_t generations = 0; //!< makeApp+compile actually run
     std::uint64_t hits = 0;        //!< requests served from the cache
+    std::uint64_t failures = 0;    //!< generations that threw (the
+                                   //!< entry is dropped so later
+                                   //!< requests retry)
     double genSeconds = 0.0;       //!< wall time spent generating
 };
 

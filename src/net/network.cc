@@ -11,7 +11,7 @@ namespace mspdsm
 
 Network::Network(EventQueue &eq, const ProtoConfig &cfg, Rng rng)
     : eq_(eq), cfg_(cfg), rng_(rng),
-      jitter_(0, cfg.netJitter > 0 ? cfg.netJitter : 0),
+      jitter_(0, cfg.netJitter),
       sinks_(cfg.numNodes),
       egressFree_(cfg.numNodes, 0),
       ingressFree_(cfg.numNodes, 0),
@@ -115,10 +115,7 @@ Network::sendAt(Tick base, CohMsg msg)
     // delivery itself stays an event (never inline from a send; see
     // the local-traffic comment above).
     if (fusible(msg.dst) && eq_.canFuseBefore(arrival)) {
-        const Tick start = std::max(arrival, ingressFree_[msg.dst]);
-        queued_.inc(start - arrival);
-        const Tick delivered = start + occ;
-        ingressFree_[msg.dst] = delivered;
+        const Tick delivered = reserveIngress(msg.dst, arrival, occ);
         NetEvent &e = pool_.acquire(this);
         e.msg = msg;
         e.arrived = true;
@@ -139,11 +136,8 @@ Network::fired(NetEvent &e)
         // Arrival at the destination's ingress NI: contend for it,
         // then ride the same event to the delivery tick.
         e.arrived = true;
-        const Tick arr = eq_.curTick();
-        const Tick start = std::max(arr, ingressFree_[e.msg.dst]);
-        queued_.inc(start - arr);
-        const Tick delivered = start + e.occ;
-        ingressFree_[e.msg.dst] = delivered;
+        const Tick delivered =
+            reserveIngress(e.msg.dst, eq_.curTick(), e.occ);
         if (fusible(e.msg.dst) && eq_.canFuseBefore(delivered)) {
             // Fused: the NI occupancy window is event-free, so the
             // delivery runs inline instead of re-riding the event.

@@ -150,6 +150,23 @@ class Network
         return sinks_[n].cache != nullptr && fuseDepth_ < maxFuseDepth;
     }
 
+    /**
+     * Contend for the destination's ingress NI as of @p arrival:
+     * books the queueing delay and the occupancy window, and returns
+     * the delivery tick. The fused send path and the arrival stage
+     * of fired() must model contention tick-for-tick identically for
+     * the fusion-exactness argument to hold, so both call this.
+     */
+    Tick
+    reserveIngress(NodeId dst, Tick arrival, Tick occ)
+    {
+        const Tick start = std::max(arrival, ingressFree_[dst]);
+        queued_.inc(start - arrival);
+        const Tick delivered = start + occ;
+        ingressFree_[dst] = delivered;
+        return delivered;
+    }
+
     /** RAII depth guard for an inline (fused) delivery. */
     struct FuseScope
     {

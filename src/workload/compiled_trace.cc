@@ -32,6 +32,12 @@ compileTraceWith(const Trace &t, const AddrMap &map,
           case OpKind::Compute: {
             if (op.cycles == 0)
                 break; // timing no-op; drop it
+            // Validate the operand before any fusion arithmetic:
+            // with both addends capped at payloadMax (2^61-1) the
+            // uint64 sum below cannot wrap, so the fused check is
+            // exact.
+            panic_if(op.cycles > CompiledOp::payloadMax,
+                     "compute delay overflows the packed op");
             if (out.size() > start &&
                 out.back().kind() == OpKind::Compute) {
                 // Fuse into the previous delay: two back-to-back
@@ -45,8 +51,6 @@ compileTraceWith(const Trace &t, const AddrMap &map,
                 out.back() = CompiledOp::make(OpKind::Compute, fused);
                 break;
             }
-            panic_if(op.cycles > CompiledOp::payloadMax,
-                     "compute delay overflows the packed op");
             out.push_back(CompiledOp::make(OpKind::Compute, op.cycles));
             break;
           }

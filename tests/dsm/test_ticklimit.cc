@@ -62,6 +62,29 @@ TEST(TickLimit, GuardedRunIsResumable)
     EXPECT_GT(sysGuarded.eventQueue().curTick(), Tick{500});
 }
 
+TEST(TickLimit, ResumedRunRereadsTheCompiledArena)
+{
+    // Regression: run(traces) used to compile into a call-local
+    // CompiledWorkload, so a guard trip left the resumable step
+    // events holding spans into a freed arena. An all-compute trace
+    // hides that (it fuses to one op, already consumed when the guard
+    // trips); memory ops break fusion, so this trace still has
+    // unexecuted compiled ops at the trip and the resumed steps must
+    // re-read the arena -- which now lives on the system.
+    DsmConfig cfg = smallConfig();
+    cfg.tickLimit = 500;
+    DsmSystem sys(cfg);
+    std::vector<Trace> ts(4);
+    for (unsigned i = 0; i < 64; ++i) {
+        ts[0].push_back(TraceOp::compute(50));
+        ts[0].push_back(TraceOp::read(Addr{i} *
+                                      cfg.proto.blockSize));
+    }
+    ASSERT_EQ(sys.run(ts).status, RunStatus::TickLimit);
+    EXPECT_TRUE(sys.eventQueue().run());
+    EXPECT_GT(sys.eventQueue().curTick(), Tick{500});
+}
+
 TEST(TickLimit, FusedRunsHonourTheGuard)
 {
     // Regression: the processor's fused fast path executes ahead of

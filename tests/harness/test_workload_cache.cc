@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -62,6 +63,18 @@ TEST_F(CacheTest, DifferingAppOrScaleGeneratesSeparately)
     EXPECT_NE(a.get(), b.get());
     EXPECT_NE(a.get(), c.get());
     EXPECT_EQ(WorkloadCache::stats().generations, 3u);
+}
+
+TEST_F(CacheTest, NonFiniteScaleIsRejected)
+{
+    // scale is keyed by bit pattern in an ordered map; a NaN would
+    // break the strict weak ordering, so the cache must refuse it
+    // before it reaches the key.
+    AppParams p = params();
+    p.scale = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_DEATH(WorkloadCache::get("em3d", p), "scale");
+    p.scale = std::numeric_limits<double>::infinity();
+    EXPECT_DEATH(WorkloadCache::get("em3d", p), "scale");
 }
 
 TEST_F(CacheTest, ConcurrentRequestsGenerateOnce)

@@ -64,6 +64,21 @@ TEST(CompiledTrace, ComputeFusionMergesRuns)
     EXPECT_EQ(out[3].kind(), OpKind::Barrier);
 }
 
+TEST(CompiledTrace, OversizedComputeDelaysPanicEvenWhenFused)
+{
+    // Regression: the fused branch used to sum payloads before the
+    // range check, so a near-2^64 delay following a small one wrapped
+    // the uint64 sum below payloadMax and compiled silently into a
+    // tiny delay. Every compute operand must be validated first.
+    const AddrMap map((ProtoConfig{}));
+    const Tick huge = ~Tick{0} - 60; // wraps to 39 if summed with 100
+    std::vector<CompiledOp> out;
+    Trace first{TraceOp::compute(huge)};
+    EXPECT_DEATH(compileTrace(first, map, out), "overflow");
+    Trace fused{TraceOp::compute(100), TraceOp::compute(huge)};
+    EXPECT_DEATH(compileTrace(fused, map, out), "overflow");
+}
+
 TEST(CompiledTrace, HitHintsReflectTraceHistory)
 {
     const ProtoConfig cfg;
