@@ -36,6 +36,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/sweep.hh"
+#include "topo/topology.hh"
 
 namespace mspdsm::bench
 {
@@ -60,6 +61,13 @@ printUsage(std::ostream &os, const char *tool, const char *what)
        << "  --iters N    iteration override (0 = app default)\n"
        << "  --procs N    simulated node count (default 16)\n"
        << "  --seed N     run-level seed (default 42)\n"
+       << "  --topology T interconnect topology: " << topoKindNames()
+       << "\n"
+       << "               (default crossbar, the paper's "
+          "constant-latency\n"
+       << "               switched network)\n"
+       << "  --link-latency N  per-hop wire latency on ring/mesh2d/\n"
+       << "               torus2d links (0 = netLatency default)\n"
        << "  --tick-limit N  deadlock-guard tick budget per run;\n"
        << "               trips surface as TICK-LIMIT rows / JSON\n"
        << "               tick_limit fields, never a stderr warning\n"
@@ -105,6 +113,16 @@ parseArgs(int argc, char **argv, const char *tool, const char *what)
             a.ec.numProcs = static_cast<unsigned>(std::atoi(value(i)));
         } else if (!std::strcmp(arg, "--seed")) {
             a.ec.seed = std::strtoull(value(i), nullptr, 10);
+        } else if (!std::strcmp(arg, "--topology")) {
+            const char *name = value(i);
+            if (!mspdsm::parseTopoKind(name, a.ec.topo.kind)) {
+                std::cerr << tool << ": unknown topology '" << name
+                          << "' (expected one of " << topoKindNames()
+                          << ")\n";
+                std::exit(2);
+            }
+        } else if (!std::strcmp(arg, "--link-latency")) {
+            a.ec.topo.linkLatency = std::strtoull(value(i), nullptr, 10);
         } else if (!std::strcmp(arg, "--tick-limit")) {
             a.ec.tickLimit = std::strtoull(value(i), nullptr, 10);
         } else if (!std::strcmp(arg, "--jobs") ||

@@ -4,6 +4,7 @@
 
 #include "base/random.hh"
 #include "dsm/system.hh"
+#include "net/network.hh"
 #include "pred/seq_predictor.hh"
 #include "pred/vmsp.hh"
 #include "sim/eventq.hh"
@@ -139,6 +140,43 @@ simMessagesSpec()
     return sys.run(w.traces).messages;
 }
 
+/**
+ * Multi-hop routing throughput: a 16-node torus (4x4, the densest
+ * link structure we ship) under steady cross-traffic through raw
+ * delivery sinks. Tracks the per-message route walk -- link
+ * reservations, hop-composed flight, NI contention -- plus the
+ * delivery event path; items are messages delivered.
+ */
+[[gnu::flatten]] std::uint64_t
+netRoute()
+{
+    constexpr int n = 20000;
+    ProtoConfig cfg;
+    cfg.topo.kind = TopoKind::Torus2D;
+    EventQueue eq;
+    Network net(eq, cfg, Rng(11));
+    std::uint64_t delivered = 0;
+    const auto count = +[](void *ctx, const CohMsg &) {
+        ++*static_cast<std::uint64_t *>(ctx);
+    };
+    for (NodeId i = 0; i < cfg.numNodes; ++i)
+        net.attach(i, count, &delivered);
+    for (int i = 0; i < n; ++i) {
+        CohMsg m;
+        // The destination stride advances every 16 messages (i >> 4
+        // term), so the pattern walks all 240 (src, dst) pairs --
+        // short and long routes, every shared link contended.
+        m.type = (i & 3) ? MsgType::GetS : MsgType::DataShared;
+        m.src = static_cast<NodeId>(i & 15);
+        m.dst = static_cast<NodeId>((i * 7 + 3 + (i >> 4)) & 15);
+        if (m.src == m.dst)
+            m.dst = static_cast<NodeId>((m.dst + 1) & 15);
+        net.send(m);
+    }
+    eq.run();
+    return delivered;
+}
+
 /** Front-end throughput: source TraceOps compiled per second. */
 std::uint64_t
 workloadCompile()
@@ -250,6 +288,7 @@ runSimSuite(const BenchOptions &opts)
     rs.push_back(
         runBench("sim/messages_compiled", opts, simMessagesCompiled));
     rs.push_back(runBench("sim/messages_spec", opts, simMessagesSpec));
+    rs.push_back(runBench("net/route", opts, netRoute));
     rs.push_back(runBench("workload/compile", opts, workloadCompile));
     return rs;
 }

@@ -63,12 +63,15 @@ main(int argc, char **argv)
     // runs ride the sweep engine like every other experiment so the
     // binary shares the --jobs/--json interface.
     SweepRunner sweep(bench::sweepOptions(args));
+    // Deliberately pinned to the default crossbar regardless of
+    // --topology: these probes validate the paper's Table 1
+    // calibration (104/418 cycles), which is defined on that network.
     sweep.add("local access", [cfg] {
         return measure(cfg, 1, 1 * cfg.proto.pageSize);
-    });
+    }, "crossbar");
     sweep.add("round-trip miss", [cfg] {
         return measure(cfg, 1, 0 * cfg.proto.pageSize);
-    });
+    }, "crossbar");
     const Tick local = sweep.result(0).execTicks;
     const Tick remote = sweep.result(1).execTicks;
     std::printf("\nmeasured local access        %6llu cycles "

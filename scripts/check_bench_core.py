@@ -41,6 +41,7 @@ REQUIRED_BENCH_NAMES = [
     "sim/messages",
     "sim/messages_compiled",
     "sim/messages_spec",
+    "net/route",
     "workload/compile",
     "pred/observe_mix",
     "pred/observe_cold",

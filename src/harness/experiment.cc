@@ -16,6 +16,12 @@ toAppParams(const ExperimentConfig &ec)
     p.scale = ec.scale;
     p.iterations = ec.iterations;
     p.seed = ec.seed;
+    // Generate for exactly the machine being simulated (makeApp
+    // would grow a too-small geometry itself, but syncing here keeps
+    // the workload-cache key and the run's AddrMap in exact
+    // agreement, and differently-sized machines never share a
+    // compiled workload).
+    p.proto.numNodes = ec.numProcs;
     return p;
 }
 
@@ -26,6 +32,7 @@ baseConfig(const ExperimentConfig &ec, Tick netJitter)
     cfg.proto.numNodes = ec.numProcs;
     cfg.proto.seed = ec.seed;
     cfg.proto.netJitter = netJitter;
+    cfg.proto.topo = ec.topo;
     if (ec.tickLimit)
         cfg.tickLimit = ec.tickLimit;
     return cfg;

@@ -29,6 +29,8 @@ struct ExperimentConfig
     unsigned iterations = 0; //!< 0 = application default
     std::uint64_t seed = 42;
     unsigned numProcs = 16;
+    /** Interconnect topology (--topology / --link-latency). */
+    TopoConfig topo = {};
     /** Deadlock-guard override; 0 keeps the DsmConfig default. */
     Tick tickLimit = 0;
 };

@@ -11,6 +11,7 @@
 #include "base/table.hh"
 #include "base/thread_pool.hh"
 #include "harness/workload_cache.hh"
+#include "topo/topology.hh"
 
 namespace mspdsm
 {
@@ -23,13 +24,14 @@ using Clock = std::chrono::steady_clock;
 /** Execute one job, timing it on its worker. */
 SweepRecord
 executeJob(const std::string &label, const std::string &app,
-           const std::string &kind,
+           const std::string &kind, const std::string &topology,
            const std::function<RunResult()> &run)
 {
     SweepRecord rec;
     rec.label = label;
     rec.app = app;
     rec.kind = kind;
+    rec.topology = topology;
     const auto t0 = Clock::now();
     rec.result = run();
     rec.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
@@ -80,16 +82,33 @@ SweepRunner::SweepRunner(const SweepOptions &opts) : opts_(opts)
 }
 
 std::size_t
-SweepRunner::add(std::string label, std::function<RunResult()> run)
+SweepRunner::add(std::string label, std::function<RunResult()> run,
+                 std::string topology)
 {
     panic_if(ran_, "SweepRunner::add after results()");
     Job j;
     j.label = std::move(label);
     j.kind = "custom";
+    j.topology = std::move(topology);
     j.run = std::move(run);
     jobs_.push_back(std::move(j));
     return jobs_.size() - 1;
 }
+
+namespace
+{
+
+/** Label suffix for a non-default topology, "" for the crossbar --
+ * so every pre-topology sweep's output stays byte-identical. */
+std::string
+topoSuffix(const ExperimentConfig &ec)
+{
+    if (ec.topo.kind == TopoKind::Crossbar)
+        return "";
+    return std::string(" @") + topoKindName(ec.topo.kind);
+}
+
+} // namespace
 
 std::size_t
 SweepRunner::addAccuracy(const std::string &app, std::size_t depth,
@@ -97,9 +116,10 @@ SweepRunner::addAccuracy(const std::string &app, std::size_t depth,
 {
     panic_if(ran_, "SweepRunner::add after results()");
     Job j;
-    j.label = app + " acc d=" + std::to_string(depth);
+    j.label = app + " acc d=" + std::to_string(depth) + topoSuffix(ec);
     j.app = app;
     j.kind = "accuracy";
+    j.topology = topoKindName(ec.topo.kind);
     // Capture by value: the job owns its full configuration, so the
     // run is seeded identically no matter which worker executes it.
     j.run = [app, depth, ec] { return runAccuracy(app, depth, ec); };
@@ -113,9 +133,10 @@ SweepRunner::addSpec(const std::string &app, SpecMode mode,
 {
     panic_if(ran_, "SweepRunner::add after results()");
     Job j;
-    j.label = app + " " + specModeName(mode);
+    j.label = app + " " + specModeName(mode) + topoSuffix(ec);
     j.app = app;
     j.kind = "spec";
+    j.topology = topoKindName(ec.topo.kind);
     j.run = [app, mode, ec] { return runSpec(app, mode, ec); };
     jobs_.push_back(std::move(j));
     return jobs_.size() - 1;
@@ -132,14 +153,16 @@ SweepRunner::results()
     records_.reserve(jobs_.size());
     if (opts_.jobs <= 1 || jobs_.size() <= 1) {
         for (const Job &j : jobs_)
-            records_.push_back(executeJob(j.label, j.app, j.kind, j.run));
+            records_.push_back(
+                executeJob(j.label, j.app, j.kind, j.topology, j.run));
     } else {
         ThreadPool pool(opts_.jobs);
         std::vector<std::future<SweepRecord>> futs;
         futs.reserve(jobs_.size());
         for (const Job &j : jobs_) {
             futs.push_back(pool.submit([&j] {
-                return executeJob(j.label, j.app, j.kind, j.run);
+                return executeJob(j.label, j.app, j.kind, j.topology,
+                                  j.run);
             }));
         }
         // Gather in submission order regardless of completion order.
@@ -203,6 +226,7 @@ SweepRunner::writeJson(std::ostream &os, const std::string &tool)
         os << "    {\"label\": \"" << jsonEscape(r.label)
            << "\", \"app\": \"" << jsonEscape(r.app)
            << "\", \"kind\": \"" << r.kind
+           << "\", \"topology\": \"" << jsonEscape(r.topology)
            << "\", \"status\": \"" << statusName(res.status)
            << "\", \"tick_limit\": "
            << (res.completed() ? "false" : "true")

@@ -43,6 +43,9 @@ struct SweepRecord
     std::string label; //!< e.g. "em3d acc d=1" or "ocean SWI-DSM"
     std::string app;   //!< application name ("" for custom jobs)
     std::string kind;  //!< "accuracy", "spec", or "custom"
+    /** Interconnect topology the run simulated ("crossbar", "ring",
+     * "mesh2d", "torus2d"); additive mspdsm-sweep-v1 JSON field. */
+    std::string topology;
     RunResult result;
     double seconds = 0.0; //!< wall time of this run on its worker
 };
@@ -62,9 +65,14 @@ class SweepRunner
      * @param label row label for the summary table / JSON
      * @param run executed on a worker; its copy captures the full run
      *        configuration, so per-run seeds stay deterministic
+     * @param topology topology name recorded for this run. Explicit
+     *        on purpose: the runner cannot see inside the closure, so
+     *        a defaulted "crossbar" would silently mislabel any
+     *        custom job that simulates another fabric.
      * @return submission index of this job
      */
-    std::size_t add(std::string label, std::function<RunResult()> run);
+    std::size_t add(std::string label, std::function<RunResult()> run,
+                    std::string topology);
 
     /** Queue runAccuracy(app, depth, ec). */
     std::size_t addAccuracy(const std::string &app, std::size_t depth,
@@ -117,6 +125,7 @@ class SweepRunner
         std::string label;
         std::string app;
         std::string kind;
+        std::string topology;
         std::function<RunResult()> run;
     };
 

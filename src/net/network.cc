@@ -12,9 +12,11 @@ namespace mspdsm
 Network::Network(EventQueue &eq, const ProtoConfig &cfg, Rng rng)
     : eq_(eq), cfg_(cfg), rng_(rng),
       jitter_(0, cfg.netJitter),
+      topo_(cfg),
       sinks_(cfg.numNodes),
       egressFree_(cfg.numNodes, 0),
       ingressFree_(cfg.numNodes, 0),
+      linkFree_(topo_.numLinks(), 0),
       pairLast_(std::size_t{cfg.numNodes} * cfg.numNodes, 0)
 {
 }
@@ -88,15 +90,40 @@ Network::sendAt(Tick base, CohMsg msg)
     const Tick departure = inject_start + occ;
     egressFree_[msg.src] = departure;
 
-    // Flight time plus queueing jitter. Point-to-point order between
-    // one (src,dst) pair is preserved by clamping arrival times to be
+    // Flight time: the topology's route. A crossbar route is a
+    // dedicated path (zero shared links, flat netLatency); a link
+    // route walks its hops in order, the message head contending for
+    // each link as it goes. Links, like the egress NI, reserve in
+    // *injection* order right here in sendAt -- on the clock or
+    // fused-ahead, the reservation sequence is the sendAt call
+    // sequence, which fusion never reorders (the fusion-exactness
+    // invariant), so link state evolves identically either way.
+    const Topology::Route &rt = topo_.route(msg.src, msg.dst);
+    Tick head = departure;
+    if (rt.hops == 0) [[likely]] {
+        head += rt.flight;
+    } else {
+        // Cut-through: the head moves on after the hop's wire
+        // latency while the link stays occupied for the message's
+        // transfer time, serializing any later message's head.
+        const LinkId *ls = topo_.links(rt);
+        const Tick lat = topo_.linkLatency();
+        for (std::uint16_t h = 0; h < rt.hops; ++h) {
+            const Tick start = std::max(head, linkFree_[ls[h]]);
+            linkQueued_.inc(start - head);
+            linkFree_[ls[h]] = start + occ;
+            head = start + lat;
+        }
+    }
+
+    // Queueing jitter on top. Point-to-point order between one
+    // (src,dst) pair is preserved by clamping arrival times to be
     // monotone per pair -- a property the protocol relies on (e.g. a
     // data grant must not be overtaken by a subsequent recall from
     // the same home). Messages from *different* sources still race.
-    Tick flight = cfg_.netLatency;
+    Tick arrival = head;
     if (cfg_.netJitter > 0)
-        flight += jitter_(rng_);
-    Tick arrival = departure + flight;
+        arrival += jitter_(rng_);
     const std::size_t pair = msg.src * cfg_.numNodes + msg.dst;
     if (arrival <= pairLast_[pair])
         arrival = pairLast_[pair] + 1;

@@ -1,17 +1,25 @@
 /**
  * @file
- * Point-to-point interconnect with per-node network interfaces.
+ * Topology-parameterized interconnect with per-node network
+ * interfaces.
  *
- * The paper assumes a constant-latency switched network but models
- * contention at the network interfaces (Section 6). We model each
- * node's NI as two serial resources (egress and ingress): a message
- * occupies the NI for niControl or niData cycles depending on whether
- * it carries a block. Flight time is netLatency plus a bounded uniform
- * jitter representing switch/controller queueing; jitter is what lets
- * concurrently issued invalidation acks arrive re-ordered.
+ * Contention is modelled at the network interfaces (the paper's
+ * Section 6) and, on the link topologies, at the links themselves. We
+ * model each node's NI as two serial resources (egress and ingress):
+ * a message occupies the NI for niControl or niData cycles depending
+ * on whether it carries a block. Flight time comes from the
+ * ProtoConfig-selected Topology (src/topo/): the default crossbar
+ * gives every pair a dedicated netLatency-cycle path -- exactly the
+ * paper's constant-latency switched network -- while ring/mesh2d/
+ * torus2d route each message over a deterministic sequence of links,
+ * each a serial resource with per-hop wire latency, so flight time is
+ * hop-composed and shared links queue. A bounded uniform jitter
+ * representing residual switch/controller queueing tops off every
+ * remote flight; jitter is what lets concurrently issued invalidation
+ * acks arrive re-ordered.
  *
  * Local messages (src == dst, e.g. a processor accessing its own home
- * directory) bypass the NIs and the switch and are delivered after a
+ * directory) bypass the NIs and the fabric and are delivered after a
  * single bus cycle.
  */
 
@@ -25,6 +33,7 @@
 #include "proto/config.hh"
 #include "proto/msg.hh"
 #include "sim/eventq.hh"
+#include "topo/topology.hh"
 
 namespace mspdsm
 {
@@ -90,6 +99,13 @@ class Network
 
     /** Total cycles messages spent queued behind busy NIs. */
     std::uint64_t queueingCycles() const { return queued_.value(); }
+
+    /** Total cycles message heads spent queued behind busy links
+     * (always 0 on the crossbar, which has no shared links). */
+    std::uint64_t linkQueueingCycles() const { return linkQueued_.value(); }
+
+    /** The routing geometry in force (tests, experiments). */
+    const Topology &topology() const { return topo_; }
 
   private:
     /**
@@ -181,14 +197,17 @@ class Network
     const ProtoConfig &cfg_;
     Rng rng_;
     BoundedDraw jitter_; //!< [0, netJitter] draw, threshold hoisted
+    Topology topo_;      //!< immutable per-pair routes
     std::vector<Sink> sinks_;
     std::vector<Tick> egressFree_; //!< next free tick per source NI
     std::vector<Tick> ingressFree_; //!< next free tick per dest NI
+    std::vector<Tick> linkFree_; //!< next free tick per fabric link
     std::vector<Tick> pairLast_; //!< last arrival per (src,dst) pair
     EventPool<NetEvent> pool_;
     unsigned fuseDepth_ = 0; //!< live inline deliveries on the stack
     Counter sent_;
     Counter queued_;
+    Counter linkQueued_;
 };
 
 } // namespace mspdsm

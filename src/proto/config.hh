@@ -1,26 +1,36 @@
 /**
  * @file
  * Timing and geometry configuration of the simulated CC-NUMA machine
- * (paper Table 1).
+ * (paper Table 1), plus the interconnect-topology selection that
+ * parameterizes the network model (src/topo/).
  *
  * Latency calibration. The paper reports, for a 600 MHz processor:
  * local memory / remote-cache access 104 cycles, network latency 80
  * cycles, round-trip read miss 418 cycles, remote-to-local ratio ~4.
- * We express everything in processor cycles and split the 418-cycle
- * round trip as:
+ * We express everything in processor cycles. On the default *crossbar*
+ * topology -- the paper's constant-latency switched network, where
+ * every (src, dst) pair has a dedicated path of netLatency cycles --
+ * the 418-cycle round trip splits as:
  *
- *   GetS:  niControl + 80 + niControl      (request hop)
- *   home:  dirLookup + memAccess           (directory + memory)
- *   Data:  niData + 80 + niData            (reply hop)
+ *   GetS:  niControl + netLatency + niControl  (request hop)
+ *   home:  dirLookup + memAccess               (directory + memory)
+ *   Data:  niData + netLatency + niData        (reply hop)
  *
- * with niControl = 20 (header-only message: bus + NI occupancy) and
- * niData = 56 (message carrying a 32-byte block), giving
- * 40 + 80 + 2 + 104 + 112 + 80 = 418. NI occupancy is the contention
- * point: a node's interface serializes message injection/delivery,
- * and small control messages (invalidations, acks) occupy it for less
- * time than data transfers -- which is what allows concurrently
- * issued invalidation acknowledgements to race and arrive re-ordered,
- * the effect that perturbs the general message predictor (Section 3).
+ * with niControl = 20 (header-only message: bus + NI occupancy),
+ * netLatency = 80 and niData = 56 (message carrying a 32-byte block),
+ * giving 40 + 80 + 2 + 104 + 112 + 80 = 418. NI occupancy is a
+ * contention point on every topology: a node's interface serializes
+ * message injection/delivery, and small control messages
+ * (invalidations, acks) occupy it for less time than data transfers
+ * -- which is what allows concurrently issued invalidation
+ * acknowledgements to race and arrive re-ordered, the effect that
+ * perturbs the general message predictor (Section 3).
+ *
+ * The non-crossbar topologies (TopoConfig: ring, mesh2d, torus2d)
+ * replace the flat netLatency flight time with a deterministic route
+ * of links, each a serial resource with per-hop wire latency
+ * TopoConfig::linkLatency -- so flight time composes per hop and
+ * messages additionally contend for shared links, not just the NIs.
  */
 
 #ifndef MSPDSM_PROTO_CONFIG_HH
@@ -33,6 +43,34 @@
 
 namespace mspdsm
 {
+
+/** Interconnect topology shapes (src/topo/topology.hh builds them). */
+enum class TopoKind : std::uint8_t
+{
+    Crossbar, //!< dedicated path per pair, flat netLatency (paper)
+    Ring,     //!< bidirectional ring, shortest direction
+    Mesh2D,   //!< near-square 2D mesh, dimension-order (X then Y)
+    Torus2D,  //!< 2D torus: mesh plus wraparound, shortest per dim
+};
+
+/**
+ * Interconnect-topology selection. The default reproduces the paper's
+ * constant-latency switched network exactly (bit-identical fixed-seed
+ * runs); the other shapes route each message over a deterministic
+ * sequence of serially-occupied links.
+ */
+struct TopoConfig
+{
+    TopoKind kind = TopoKind::Crossbar;
+
+    /**
+     * Per-hop wire latency of a ring/mesh/torus link, cycles;
+     * 0 = use ProtoConfig::netLatency (so a one-hop neighbour costs
+     * exactly what the crossbar charges every pair). Ignored by the
+     * crossbar, whose flight time is always netLatency.
+     */
+    Tick linkLatency = 0;
+};
 
 /**
  * Machine configuration (paper Table 1 defaults).
@@ -74,6 +112,9 @@ struct ProtoConfig
      * ("minimal queueing in the system"), uses zero.
      */
     Tick netJitter = 8;
+
+    /** Interconnect topology (default: the paper's crossbar model). */
+    TopoConfig topo = {};
 
     /** Seed for all randomness in one run. */
     std::uint64_t seed = 1;

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Pluggable interconnect topologies behind the Network.
+ *
+ * A Topology maps every (src, dst) node pair to a deterministic route:
+ * an ordered sequence of directed links plus the route's uncontended
+ * wire time. Routes are precomputed at construction into flat arrays,
+ * so the per-message cost is one table read and a short walk over the
+ * route's link ids -- no virtual dispatch, no std::function, no
+ * allocation (the same discipline as the PR 3 message path).
+ *
+ * Shapes:
+ *  - crossbar: the paper's constant-latency switched network. Every
+ *    pair has a dedicated path (zero shared links) of netLatency
+ *    cycles; contention exists only at the NIs. This is the default
+ *    and is bit-identical to the pre-topology network model.
+ *  - ring: nodes on a bidirectional cycle; routes take the shorter
+ *    direction (ties go clockwise, i.e. increasing node id).
+ *  - mesh2d: nodes on a near-square rows x cols grid (the most-square
+ *    factorization of the node count; primes degenerate to 1 x N),
+ *    dimension-order routed -- X first, then Y -- which is
+ *    deadlock-free and deterministic.
+ *  - torus2d: the mesh plus wraparound links; each dimension takes
+ *    its shorter direction (ties go in the increasing direction),
+ *    still dimension-ordered.
+ *
+ * The Topology itself is immutable shared geometry; the mutable
+ * per-link busy times live in the Network alongside the NI state.
+ */
+
+#ifndef MSPDSM_TOPO_TOPOLOGY_HH
+#define MSPDSM_TOPO_TOPOLOGY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "proto/config.hh"
+
+namespace mspdsm
+{
+
+/** Identifier of one directed link; dense in [0, numLinks()). */
+using LinkId = std::uint32_t;
+
+/** @return printable topology name ("crossbar", "ring", ...). */
+const char *topoKindName(TopoKind k);
+
+/**
+ * Parse a topology name as the --topology flag accepts it.
+ * @return false (leaving @p out untouched) on an unknown name
+ */
+bool parseTopoKind(const std::string &name, TopoKind &out);
+
+/** Comma-separated list of every parseable name (usage text). */
+const char *topoKindNames();
+
+/**
+ * Precomputed routing of one machine geometry. Construct once per
+ * Network from the ProtoConfig; route() and links() are the only
+ * calls on the per-message path.
+ */
+class Topology
+{
+  public:
+    /** One (src, dst) pair's route through the fabric. */
+    struct Route
+    {
+        std::uint32_t first = 0; //!< index of this route's first link
+        std::uint16_t hops = 0;  //!< links crossed (0 = dedicated path)
+        /**
+         * Uncontended wire time of the whole route: hops x
+         * linkLatency() for the link topologies, netLatency for the
+         * crossbar's dedicated paths.
+         */
+        Tick flight = 0;
+    };
+
+    explicit Topology(const ProtoConfig &cfg);
+
+    /** The route from @p src to @p dst (src == dst is never routed:
+     * local traffic bypasses the fabric entirely). */
+    const Route &
+    route(NodeId src, NodeId dst) const
+    {
+        return routes_[std::size_t{src} * n_ + dst];
+    }
+
+    /** The link ids of @p r, in traversal order. */
+    const LinkId *
+    links(const Route &r) const
+    {
+        return linkSeq_.data() + r.first;
+    }
+
+    /** Per-hop wire latency (TopoConfig::linkLatency, defaulted). */
+    Tick linkLatency() const { return linkLat_; }
+
+    /** Number of directed links (0 for the crossbar). */
+    std::uint32_t numLinks() const { return numLinks_; }
+
+    /** The shape this topology was built as. */
+    TopoKind kind() const { return kind_; }
+
+    /** Grid rows (mesh2d/torus2d; 1 otherwise). */
+    unsigned rows() const { return rows_; }
+
+    /** Grid columns (mesh2d/torus2d; numNodes otherwise). */
+    unsigned cols() const { return cols_; }
+
+    /** Hop count of the (src, dst) route (tests, experiments). */
+    unsigned hops(NodeId src, NodeId dst) const
+    {
+        return route(src, dst).hops;
+    }
+
+    /** Uncontended flight time of the (src, dst) route. */
+    Tick flight(NodeId src, NodeId dst) const
+    {
+        return route(src, dst).flight;
+    }
+
+  private:
+    void buildCrossbar(Tick netLatency);
+    void buildRing();
+    void buildGrid(bool wrap);
+
+    unsigned n_;
+    TopoKind kind_;
+    Tick linkLat_;
+    unsigned rows_ = 1;
+    unsigned cols_ = 1;
+    std::uint32_t numLinks_ = 0;
+    std::vector<Route> routes_;   //!< n x n, row-major by src
+    std::vector<LinkId> linkSeq_; //!< all routes' links, concatenated
+};
+
+} // namespace mspdsm
+
+#endif // MSPDSM_TOPO_TOPOLOGY_HH

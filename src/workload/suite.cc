@@ -36,6 +36,13 @@ makeApp(const std::string &name, const AppParams &p)
             AppParams q = p;
             if (q.iterations == 0)
                 q.iterations = info.defaultIters;
+            // Every generator allocates one home region per proc, so
+            // the layout geometry must cover numProcs nodes; growing
+            // it here protects every caller, not just the harness
+            // (which pre-syncs the two so the workload-cache key and
+            // the machine geometry agree exactly).
+            if (q.proto.numNodes < q.numProcs)
+                q.proto.numNodes = q.numProcs;
             return info.make(q);
         }
     }

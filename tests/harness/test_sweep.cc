@@ -120,7 +120,7 @@ TEST(Sweep, ResultsComeBackInSubmissionOrder)
             RunResult r;
             r.execTicks = static_cast<Tick>(i);
             return r;
-        });
+        }, "crossbar");
     }
     const auto &recs = s.results();
     ASSERT_EQ(recs.size(), 12u);
@@ -182,7 +182,7 @@ TEST(Sweep, JobsZeroMeansHardwareConcurrency)
     o.jobs = 0;
     SweepRunner s(o);
     EXPECT_GE(s.jobs(), 1u);
-    s.add("one", [] { return RunResult{}; });
+    s.add("one", [] { return RunResult{}; }, "crossbar");
     EXPECT_EQ(s.results().size(), 1u);
 }
 

@@ -80,28 +80,34 @@ namespace
 {
 
 /**
- * Two nodes ping-ponging ownership of one block: node 1 reads (GetS,
- * recall + writeback once node 0 owns it), node 0 writes (GetX,
- * invalidation + ack). One full cycle exercises every protocol
- * message type on the demand path.
+ * Two nodes ping-ponging ownership of one block: the reader node
+ * reads (GetS, recall + writeback once node 0 owns it), node 0 (the
+ * home) writes (GetX, invalidation + ack). One full cycle exercises
+ * every protocol message type on the demand path. The topology and
+ * node count are parameters so the same cycle can run over multi-hop
+ * routes (ring/mesh), pinning the zero-allocation invariant on the
+ * link-walk path too.
  */
 struct PingPong
 {
-    explicit PingPong(unsigned cycles)
+    explicit PingPong(unsigned cycles,
+                      TopoKind topo = TopoKind::Crossbar,
+                      unsigned nodes = 2, NodeId readerAt = 1)
         : reader(&PingPong::readerDone), writer(&PingPong::writerDone),
-          cyclesLeft(cycles)
+          readerNode(readerAt), cyclesLeft(cycles)
     {
-        cfg.numNodes = 2;
+        cfg.numNodes = nodes;
         cfg.netJitter = 0;
+        cfg.topo.kind = topo;
         net = std::make_unique<Network>(eq, cfg, Rng(7));
-        for (NodeId n = 0; n < 2; ++n) {
+        for (NodeId n = 0; n < nodes; ++n) {
             caches.push_back(
                 std::make_unique<CacheCtrl>(n, eq, *net, cfg));
             dirs.push_back(std::make_unique<Directory>(
                 n, eq, *net, cfg, std::vector<PredictorBase *>{},
                 nullptr, SpecMode::None));
         }
-        for (NodeId n = 0; n < 2; ++n)
+        for (NodeId n = 0; n < nodes; ++n)
             net->attach(n, *caches[n], *dirs[n]);
         reader.owner = this;
         writer.owner = this;
@@ -134,15 +140,16 @@ struct PingPong
         PingPong *pp = static_cast<WriterDone &>(self).owner;
         if (--pp->cyclesLeft == 0)
             return;
-        // Node 1 reads it back: recall + writeback at the home.
-        pp->caches[1]->accessAt(0, false, pp->reader, base);
+        // The reader node reads it back: recall + writeback at home.
+        pp->caches[pp->readerNode]->accessAt(0, false, pp->reader,
+                                             base);
     }
 
     /** Run @p cycles full read/write cycles to completion. */
     void
     go()
     {
-        caches[1]->access(0, false, reader);
+        caches[readerNode]->access(0, false, reader);
         ASSERT_TRUE(eq.run());
         ASSERT_EQ(cyclesLeft, 0u);
     }
@@ -154,6 +161,7 @@ struct PingPong
     std::vector<std::unique_ptr<Directory>> dirs;
     ReaderDone reader;
     WriterDone writer;
+    NodeId readerNode;
     unsigned cyclesLeft;
 };
 
@@ -178,6 +186,30 @@ TEST(ZeroAlloc, SteadyStateMessagePathDoesNotAllocate)
 
     // Sanity: the warm phase itself did allocate (the hook works).
     EXPECT_GT(mark, 0u);
+}
+
+TEST(ZeroAlloc, MultiHopRoutingDoesNotAllocate)
+{
+    // Five-node ring with the reader two hops from the home: every
+    // remote message walks a multi-link route, so the link
+    // reservations and hop-composed flight arithmetic are on the
+    // measured path. The invariant must not shrink to the crossbar.
+    PingPong warm(16, TopoKind::Ring, 5, 2);
+    warm.go();
+    ASSERT_GT(warm.net->topology().hops(0, warm.readerNode), 1u);
+    const std::uint64_t mark = g_allocs;
+
+    warm.cyclesLeft = 2000;
+    warm.caches[warm.readerNode]->access(0, false, warm.reader);
+    ASSERT_TRUE(warm.eq.run());
+    ASSERT_EQ(warm.cyclesLeft, 0u);
+
+    EXPECT_EQ(g_allocs, mark)
+        << "multi-hop message path performed " << (g_allocs - mark)
+        << " allocations";
+    // The route walk was actually on the measured path: the ring has
+    // real links, unlike the crossbar's dedicated paths.
+    EXPECT_GT(warm.net->topology().numLinks(), 0u);
 }
 
 TEST(ZeroAlloc, HitPathDoesNotAllocate)

@@ -1,0 +1,201 @@
+/** @file Unit tests for the interconnect topology geometry: route
+ * shapes, hop counts, link numbering, and the name helpers. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/topology.hh"
+
+using namespace mspdsm;
+
+namespace
+{
+
+ProtoConfig
+config(TopoKind kind, unsigned nodes, Tick linkLat = 0)
+{
+    ProtoConfig cfg;
+    cfg.numNodes = nodes;
+    cfg.topo.kind = kind;
+    cfg.topo.linkLatency = linkLat;
+    return cfg;
+}
+
+/** Manhattan-style hop distance on a wrapping/non-wrapping grid. */
+unsigned
+gridDistance(const Topology &t, NodeId a, NodeId b, bool wrap)
+{
+    const unsigned cols = t.cols();
+    const unsigned rows = t.rows();
+    const unsigned ax = a % cols, ay = a / cols;
+    const unsigned bx = b % cols, by = b / cols;
+    auto dim = [wrap](unsigned p, unsigned q, unsigned extent) {
+        const unsigned d = p > q ? p - q : q - p;
+        return wrap ? std::min(d, extent - d) : d;
+    };
+    return dim(ax, bx, cols) + dim(ay, by, rows);
+}
+
+} // namespace
+
+TEST(Topology, CrossbarRoutesAreDedicatedPaths)
+{
+    const ProtoConfig cfg = config(TopoKind::Crossbar, 16);
+    const Topology t(cfg);
+    EXPECT_EQ(t.numLinks(), 0u);
+    for (NodeId s = 0; s < 16; ++s) {
+        for (NodeId d = 0; d < 16; ++d) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(t.hops(s, d), 0u);
+            EXPECT_EQ(t.flight(s, d), cfg.netLatency);
+        }
+    }
+}
+
+TEST(Topology, RingTakesTheShorterDirection)
+{
+    const Topology t(config(TopoKind::Ring, 8));
+    EXPECT_EQ(t.hops(0, 1), 1u);
+    EXPECT_EQ(t.hops(0, 7), 1u); // wraps counter-clockwise
+    EXPECT_EQ(t.hops(0, 3), 3u);
+    EXPECT_EQ(t.hops(0, 4), 4u); // tie: either way is 4 hops
+    EXPECT_EQ(t.hops(5, 2), 3u);
+    for (NodeId s = 0; s < 8; ++s)
+        for (NodeId d = 0; d < 8; ++d)
+            EXPECT_EQ(t.hops(s, d), t.hops(d, s));
+}
+
+TEST(Topology, RingRouteWalksConsecutiveLinks)
+{
+    const Topology t(config(TopoKind::Ring, 8));
+    // Clockwise route 0 -> 3: links 0 (0->1), 1 (1->2), 2 (2->3).
+    const Topology::Route &cw = t.route(0, 3);
+    ASSERT_EQ(cw.hops, 3u);
+    const LinkId *ls = t.links(cw);
+    EXPECT_EQ(ls[0], 0u);
+    EXPECT_EQ(ls[1], 1u);
+    EXPECT_EQ(ls[2], 2u);
+    // Counter-clockwise route 0 -> 6: links 8+0 (0->7), 8+7 (7->6).
+    const Topology::Route &ccw = t.route(0, 6);
+    ASSERT_EQ(ccw.hops, 2u);
+    const LinkId *rs = t.links(ccw);
+    EXPECT_EQ(rs[0], 8u + 0u);
+    EXPECT_EQ(rs[1], 8u + 7u);
+}
+
+TEST(Topology, MeshFactorizesNearSquare)
+{
+    EXPECT_EQ(Topology(config(TopoKind::Mesh2D, 16)).rows(), 4u);
+    EXPECT_EQ(Topology(config(TopoKind::Mesh2D, 16)).cols(), 4u);
+    EXPECT_EQ(Topology(config(TopoKind::Mesh2D, 8)).rows(), 2u);
+    EXPECT_EQ(Topology(config(TopoKind::Mesh2D, 8)).cols(), 4u);
+    EXPECT_EQ(Topology(config(TopoKind::Mesh2D, 12)).rows(), 3u);
+    EXPECT_EQ(Topology(config(TopoKind::Mesh2D, 12)).cols(), 4u);
+    // Primes degenerate to a line; still a valid grid.
+    EXPECT_EQ(Topology(config(TopoKind::Mesh2D, 5)).rows(), 1u);
+    EXPECT_EQ(Topology(config(TopoKind::Mesh2D, 5)).cols(), 5u);
+}
+
+TEST(Topology, MeshRoutesAreManhattanDistance)
+{
+    const Topology t(config(TopoKind::Mesh2D, 16));
+    for (NodeId s = 0; s < 16; ++s) {
+        for (NodeId d = 0; d < 16; ++d) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(t.hops(s, d), gridDistance(t, s, d, false))
+                << "mesh route " << s << " -> " << d;
+        }
+    }
+    // Corner to corner on the 4x4: 3 + 3 hops.
+    EXPECT_EQ(t.hops(0, 15), 6u);
+}
+
+TEST(Topology, TorusWrapsEachDimension)
+{
+    const Topology t(config(TopoKind::Torus2D, 16));
+    for (NodeId s = 0; s < 16; ++s) {
+        for (NodeId d = 0; d < 16; ++d) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(t.hops(s, d), gridDistance(t, s, d, true))
+                << "torus route " << s << " -> " << d;
+        }
+    }
+    // Corner to corner wraps in both dimensions: 1 + 1 hops.
+    EXPECT_EQ(t.hops(0, 15), 2u);
+    // The torus diameter is half the mesh's.
+    EXPECT_EQ(t.hops(0, 10), 4u); // (0,0) -> (2,2): 2 + 2 either way
+}
+
+TEST(Topology, FlightComposesPerHop)
+{
+    for (TopoKind k :
+         {TopoKind::Ring, TopoKind::Mesh2D, TopoKind::Torus2D}) {
+        const Topology t(config(k, 16, 13));
+        EXPECT_EQ(t.linkLatency(), 13u);
+        for (NodeId s = 0; s < 16; ++s)
+            for (NodeId d = 0; d < 16; ++d)
+                EXPECT_EQ(t.flight(s, d), Tick{t.hops(s, d)} * 13u);
+    }
+}
+
+TEST(Topology, LinkLatencyDefaultsToNetLatency)
+{
+    ProtoConfig cfg = config(TopoKind::Ring, 8);
+    cfg.netLatency = 80;
+    EXPECT_EQ(Topology(cfg).linkLatency(), 80u);
+    cfg.topo.linkLatency = 7;
+    EXPECT_EQ(Topology(cfg).linkLatency(), 7u);
+}
+
+TEST(Topology, LinkIdsAreDenseAndInRange)
+{
+    for (TopoKind k :
+         {TopoKind::Ring, TopoKind::Mesh2D, TopoKind::Torus2D}) {
+        const Topology t(config(k, 12));
+        std::set<LinkId> seen;
+        for (NodeId s = 0; s < 12; ++s) {
+            for (NodeId d = 0; d < 12; ++d) {
+                const Topology::Route &r = t.route(s, d);
+                const LinkId *ls = t.links(r);
+                for (std::uint16_t h = 0; h < r.hops; ++h) {
+                    ASSERT_LT(ls[h], t.numLinks());
+                    seen.insert(ls[h]);
+                }
+            }
+        }
+        // Every link participates in some route (no dead numbering).
+        EXPECT_EQ(seen.size(), t.numLinks()) << topoKindName(k);
+    }
+}
+
+TEST(Topology, GridLinkCountsMatchTheShape)
+{
+    // 4x4 mesh: 2 directed links per grid edge, 2*(3*4 + 4*3) = 48.
+    EXPECT_EQ(Topology(config(TopoKind::Mesh2D, 16)).numLinks(), 48u);
+    // 4x4 torus: every node has 4 out-links, 64 total.
+    EXPECT_EQ(Topology(config(TopoKind::Torus2D, 16)).numLinks(), 64u);
+    // Ring of n: n clockwise + n counter-clockwise.
+    EXPECT_EQ(Topology(config(TopoKind::Ring, 8)).numLinks(), 16u);
+    // 2x4 torus: the 2-extent Y dimension is modeled as one channel
+    // per direction (out-degree 3, not the physical torus's 4 --
+    // tie-positive routing could never use a second parallel
+    // channel): 16 X links + 8 Y links.
+    EXPECT_EQ(Topology(config(TopoKind::Torus2D, 8)).numLinks(), 24u);
+}
+
+TEST(Topology, NamesRoundTrip)
+{
+    for (TopoKind k : {TopoKind::Crossbar, TopoKind::Ring,
+                       TopoKind::Mesh2D, TopoKind::Torus2D}) {
+        TopoKind back;
+        ASSERT_TRUE(parseTopoKind(topoKindName(k), back));
+        EXPECT_EQ(back, k);
+    }
+    TopoKind out = TopoKind::Ring;
+    EXPECT_FALSE(parseTopoKind("hypercube", out));
+    EXPECT_EQ(out, TopoKind::Ring); // untouched on failure
+}
