@@ -71,6 +71,19 @@ printUsage(std::ostream &os, const char *tool, const char *what)
        << "  --tick-limit N  deadlock-guard tick budget per run;\n"
        << "               trips surface as TICK-LIMIT rows / JSON\n"
        << "               tick_limit fields, never a stderr warning\n"
+       << "  --fail-node N  fail-stop node N mid-run (default: no\n"
+       << "               fault injection; the run is bit-identical\n"
+       << "               to one without the fault layer)\n"
+       << "  --fail-tick T  tick at which --fail-node is killed\n"
+       << "  --recover-tick T  tick at which the victim restarts\n"
+       << "               (0 = never; survivors stall at the next\n"
+       << "               barrier and the run reports partial results)\n"
+       << "  --backup-node N  adopter of the victim's directory\n"
+       << "               shard (default (victim+1) mod procs)\n"
+       << "  --warm-restart  merge the victim's replicated predictor\n"
+       << "               checkpoint into the backup on the kill\n"
+       << "  --ckpt-interval T  predictor checkpoint period, ticks\n"
+       << "               (0 = no checkpointing)\n"
        << "  --jobs N     parallel runs; 0 = all hardware threads\n"
        << "               (default 1 = serial; results are\n"
        << "               bit-identical either way)\n"
@@ -125,6 +138,18 @@ parseArgs(int argc, char **argv, const char *tool, const char *what)
             a.ec.topo.linkLatency = std::strtoull(value(i), nullptr, 10);
         } else if (!std::strcmp(arg, "--tick-limit")) {
             a.ec.tickLimit = std::strtoull(value(i), nullptr, 10);
+        } else if (!std::strcmp(arg, "--fail-node")) {
+            a.ec.failNode = static_cast<NodeId>(std::atoi(value(i)));
+        } else if (!std::strcmp(arg, "--fail-tick")) {
+            a.ec.failTick = std::strtoull(value(i), nullptr, 10);
+        } else if (!std::strcmp(arg, "--recover-tick")) {
+            a.ec.recoverTick = std::strtoull(value(i), nullptr, 10);
+        } else if (!std::strcmp(arg, "--backup-node")) {
+            a.ec.backupNode = static_cast<NodeId>(std::atoi(value(i)));
+        } else if (!std::strcmp(arg, "--warm-restart")) {
+            a.ec.warmRestart = true;
+        } else if (!std::strcmp(arg, "--ckpt-interval")) {
+            a.ec.ckptInterval = std::strtoull(value(i), nullptr, 10);
         } else if (!std::strcmp(arg, "--jobs") ||
                    !std::strcmp(arg, "-j")) {
             a.jobs = static_cast<unsigned>(std::atoi(value(i)));

@@ -107,7 +107,7 @@ main(int argc, char **argv)
                 "network's Base-DSM)\n\n");
 
     Table t({"topology", "procs", "link", "base ticks", "SWI ticks",
-             "time %", "req wait %"});
+             "time %", "req wait %", "link queue"});
     for (const Cell &c : cells) {
         const RunResult &base = sweep.result(c.base);
         const RunResult &swi = sweep.result(c.swi);
@@ -123,7 +123,11 @@ main(int argc, char **argv)
                                   1)
                      : "n/a",
                   ok ? Table::fmt(100.0 * swi.avgRequestWait / bt, 1)
-                     : "n/a"});
+                     : "n/a",
+                  // Link-level contention of the SWI run: the cycles
+                  // messages spent queued behind busy links (always 0
+                  // on the crossbar, whose contention is NI-only).
+                  Table::fmt(swi.linkQueueingCycles)});
     }
     t.print(std::cout);
     return bench::finishSweep(sweep, args, "fig10_network");

@@ -29,6 +29,51 @@ CacheCtrl::hitDone()
 }
 
 void
+CacheCtrl::kill()
+{
+    lines_.clear();
+    memoLine_ = nullptr;
+    mshr_ = Mshr{};
+    if (hitEvent_.scheduled())
+        eq_.deschedule(hitEvent_);
+    hitDone_ = nullptr;
+    if (retryEvent_.scheduled())
+        eq_.deschedule(retryEvent_);
+    retryAttempts_ = 0;
+    retryAfterNack_ = false;
+}
+
+void
+CacheCtrl::retryFired()
+{
+    if (!mshr_.valid)
+        return;
+    if (retryAfterNack_) {
+        // Planned re-issue after a Nack backoff (already counted).
+        retryAfterNack_ = false;
+    } else {
+        stats_.timeouts.inc();
+        ++retryAttempts_;
+        fatal_if(retryAttempts_ > maxRetries, "cache ", id_,
+                 ": exhausted ", maxRetries,
+                 " retries for block ", mshr_.blk,
+                 "; home unreachable");
+    }
+    stats_.retries.inc();
+    // Re-derive the request from the *current* line state (an Inval
+    // may have raced the dead home) and re-resolve the home through
+    // the re-map table, so the retry lands at the backup directory.
+    const Line &l = line(mshr_.blk);
+    const MsgType t = mshr_.write
+                          ? (l.state == LineState::Shared
+                                 ? MsgType::Upgrade
+                                 : MsgType::GetX)
+                          : MsgType::GetS;
+    sendRequest(t, mshr_.blk, l, eq_.curTick());
+    eq_.schedule(eq_.curTick() + retryTimeout, retryEvent_);
+}
+
+void
 CacheCtrl::sendRequest(MsgType t, BlockId blk, const Line &l, Tick base)
 {
     CohMsg m;
@@ -87,12 +132,19 @@ CacheCtrl::issueMiss(BlockId blk, bool is_write, MemCompletion &done,
     if (!is_write) {
         stats_.demandReads.inc();
         sendRequest(MsgType::GetS, blk, l, base);
-        return;
+    } else {
+        stats_.demandWrites.inc();
+        sendRequest(l.state == LineState::Shared ? MsgType::Upgrade
+                                                 : MsgType::GetX,
+                    blk, l, base);
     }
-    stats_.demandWrites.inc();
-    sendRequest(l.state == LineState::Shared ? MsgType::Upgrade
-                                             : MsgType::GetX,
-                blk, l, base);
+    if (faultsEnabled_) {
+        // Timeout-and-retry: if the home dies with this request (or
+        // its reply) in flight, the message is dropped and only this
+        // timer recovers the transaction.
+        retryAfterNack_ = false;
+        eq_.schedule(base + retryTimeout, retryEvent_);
+    }
 }
 
 void
@@ -182,9 +234,43 @@ CacheCtrl::handle(const CohMsg &msg, Tick base)
         l.trig = msg.trigger;
         return;
       }
+      case MsgType::Nack: {
+        // Our request bounced off a dead home. Back off
+        // deterministically and re-issue; the re-map table will have
+        // redirected the home by the time the retry fires.
+        if (!faultsEnabled_ || !mshr_.valid || mshr_.blk != msg.blk)
+            return; // late bounce of an already-satisfied request
+        stats_.nacks.inc();
+        ++retryAttempts_;
+        fatal_if(retryAttempts_ > maxRetries, "cache ", id_,
+                 ": exhausted ", maxRetries, " retries for block ",
+                 mshr_.blk, "; home unreachable");
+        if (retryEvent_.scheduled())
+            eq_.deschedule(retryEvent_);
+        retryAfterNack_ = true;
+        const unsigned shift =
+            retryAttempts_ < 6 ? retryAttempts_ : 6;
+        eq_.schedule(base + (nackBackoffBase << shift), retryEvent_);
+        return;
+      }
+      case MsgType::RehomeSync:
+      case MsgType::CkptData:
+        // Fault-layer traffic modelling only: the directory
+        // reconstruction / predictor snapshot these messages stand
+        // for is applied synchronously by the fault sweep. Their cost
+        // is the link/NI occupancy they just paid.
+        return;
       case MsgType::DataShared:
       case MsgType::DataExcl:
       case MsgType::UpgradeAck: {
+        if (faultsEnabled_ && (!mshr_.valid || mshr_.blk != msg.blk)) {
+            // A fill for a miss this node no longer has outstanding:
+            // the node was killed (squashing the miss) and restarted
+            // while the reply was in flight from a pre-crash request
+            // epoch boundary, or a retry raced its own late reply.
+            stats_.staleFills.inc();
+            return;
+        }
         panic_if(!mshr_.valid || mshr_.blk != msg.blk,
                  "unexpected fill ", msg.toString());
         if (mshr_.invalidated && msg.type == MsgType::DataShared) {
@@ -201,6 +287,14 @@ CacheCtrl::handle(const CohMsg &msg, Tick base)
             l.spec = false;
             l.referenced = true;
             l.inProcCache = true;
+        }
+        if (faultsEnabled_) {
+            // The miss is satisfied: disarm the stale timer so the
+            // next miss can arm it afresh.
+            if (retryEvent_.scheduled())
+                eq_.deschedule(retryEvent_);
+            retryAttempts_ = 0;
+            retryAfterNack_ = false;
         }
         MemCompletion *done = mshr_.done;
         mshr_ = Mshr{};

@@ -79,6 +79,12 @@ struct CacheStats
     Counter specServedFr;  //!< first use of an FR-pushed copy
     Counter specServedSwi; //!< first use of an SWI-pushed copy
     Counter specDropped;   //!< speculative copies dropped on race
+
+    // Fault-layer recovery counters; all zero in fault-free runs.
+    Counter retries;    //!< demand requests re-issued
+    Counter nacks;      //!< Nacks received for the in-flight miss
+    Counter timeouts;   //!< retry-timer expiries with no response
+    Counter staleFills; //!< fills dropped with no matching miss
 };
 
 /**
@@ -151,6 +157,45 @@ class CacheCtrl
     /** True iff the block is present as an unreferenced spec copy. */
     bool hasUnreferencedSpec(BlockId blk) const;
 
+    // ---- Fault layer (dsm/fault.hh). All optional: a cache with no
+    // ---- fault wiring behaves exactly as before, allocation-free.
+
+    /**
+     * Arm the NACK/timeout-and-retry FSM: every demand miss sets a
+     * retry timer, a Nack or an expiry re-issues the request (to the
+     * *current* home, so a re-homed directory is picked up
+     * transparently) with bounded deterministic backoff.
+     */
+    void enableFaults() { faultsEnabled_ = true; }
+
+    /** Share the fault layer's home re-mapping table. */
+    void setHomeRemap(const NodeId *table) { map_.setRemap(table); }
+
+    /**
+     * Fail-stop this node's cache: every line is lost, the in-flight
+     * miss (if any) is squashed without completing, and all pending
+     * cache timers are cancelled. The processor side rewinds the
+     * squashed access itself.
+     */
+    void kill();
+
+    /** True iff a demand miss is outstanding (fault sweep uses it). */
+    bool missOutstanding() const { return mshr_.valid; }
+
+    /**
+     * Visit every cached line as (BlockId, LineState) -- the fault
+     * layer reconstructs a re-homed directory shard from the
+     * survivors' caches with this.
+     */
+    template <typename F>
+    void
+    forEachLine(F &&f) const
+    {
+        for (const auto &kv : lines_)
+            if (kv.second.state != LineState::Invalid)
+                f(kv.first, kv.second.state);
+    }
+
   private:
     struct Line
     {
@@ -203,11 +248,37 @@ class CacheCtrl
         return l;
     }
 
+    /** Retry timer for the in-flight miss (fault runs only). */
+    struct RetryEvent final : public Event
+    {
+        explicit RetryEvent(CacheCtrl *c) : cache(c) {}
+
+        void process() override { cache->retryFired(); }
+
+        CacheCtrl *cache;
+    };
+
     /** HitEvent fired: deliver the stored completion. */
     void hitDone();
 
+    /** Retry timer expired with the miss still outstanding. */
+    void retryFired();
+
     /** Issue a request message to the block's home at @p base. */
     void sendRequest(MsgType t, BlockId blk, const Line &l, Tick base);
+
+    /** Bounded retries before the node declares the home unreachable. */
+    static constexpr unsigned maxRetries = 16;
+
+    /**
+     * Retry timeout: safely above the worst legitimate round trip
+     * (the fault sweep unblocks every fault-stalled transaction at
+     * the kill tick itself, so an expiry means a message was lost).
+     */
+    static constexpr Tick retryTimeout = 20000;
+
+    /** Deterministic backoff base after a Nack. */
+    static constexpr Tick nackBackoffBase = 64;
 
     NodeId id_;
     EventQueue &eq_;
@@ -220,6 +291,10 @@ class CacheCtrl
     Mshr mshr_;
     HitEvent hitEvent_{this};
     MemCompletion *hitDone_ = nullptr;
+    RetryEvent retryEvent_{this};
+    unsigned retryAttempts_ = 0;
+    bool retryAfterNack_ = false; //!< pending timer is a Nack backoff
+    bool faultsEnabled_ = false;
     CacheStats stats_;
 };
 

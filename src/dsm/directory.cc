@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "dsm/fault.hh"
 
 namespace mspdsm
 {
@@ -298,6 +299,10 @@ Directory::onWrite(Entry &e, const CohMsg &msg, bool upgrade_grant,
     // declaration); remember how the requester encoded it.
     e.curWriteSym = msg.type == MsgType::Upgrade ? SymKind::Upgrade
                                                  : SymKind::Write;
+    // Fault runs: remember the requester's restart epoch so a grant
+    // whose requester crashed mid-transaction can be abandoned.
+    if (faults_)
+        cold(e).curReqEpoch = faults_->epoch(src);
 
     switch (e.state) {
       case DirState::Idle: {
@@ -335,6 +340,8 @@ Directory::onWrite(Entry &e, const CohMsg &msg, bool upgrade_grant,
         }
         e.state = DirState::BusyInval;
         e.pendingAcks = others.count();
+        if (faults_)
+            cold(e).ackWait = others;
         for (NodeId o : others) {
             stats_.invals.inc();
             CohMsg inv;
@@ -376,6 +383,8 @@ Directory::onInvAck(Entry &e, const CohMsg &msg, Tick base)
     if (specEnabled() && e.cold && e.cold->specSent.contains(msg.src))
         verifyCopy(e, msg.blk, msg);
     panic_if(e.pendingAcks <= 0, "stray InvAck: ", msg.toString());
+    if (faults_ && e.cold)
+        e.cold->ackWait.remove(msg.src);
     if (--e.pendingAcks == 0) {
         e.state = DirState::BusyService;
         const Tick fire = base + cfg_.dirLookup;
@@ -391,7 +400,12 @@ Directory::onWriteBack(Entry &e, const CohMsg &msg, Tick base)
 {
     panic_if(e.state != DirState::BusyRecall,
              "WriteBack outside recall: ", msg.toString());
-    const BlockId blk = msg.blk;
+    absorbWriteBack(e, msg.blk, base);
+}
+
+void
+Directory::absorbWriteBack(Entry &e, BlockId blk, Tick base)
+{
     e.owner = invalidNode;
     e.state = DirState::BusyService;
 
@@ -425,6 +439,20 @@ void
 Directory::grantExcl(Entry &e, BlockId blk, Tick base)
 {
     const NodeId w = e.curReq;
+    if (faults_ && (faults_->dead(w) ||
+                    coldView(e).curReqEpoch != faults_->epoch(w))) {
+        // The requester died (and possibly restarted, cache cold)
+        // while its write was in service: the grant has no taker, and
+        // recording a dead node as owner would wedge the block on a
+        // recall nobody can answer. Abandon the transaction; memory
+        // already holds the data (writebacks are timing events here).
+        stats_.faultAborts.inc();
+        e.state = DirState::Idle;
+        e.owner = invalidNode;
+        e.sharers.clear();
+        drain(blk, base);
+        return;
+    }
     const bool upgrade = e.curUpgradeGrant;
     // All of this write's invalidation acks (with their piggy-backed
     // reference bits) have been folded into the VMSP's open reader
@@ -588,6 +616,14 @@ void
 Directory::pushSpec(Entry &e, BlockId blk, NodeSet targets,
                     SpecTrigger trig, const HistoryKey &key, Tick when)
 {
+    if (faults_) {
+        // Never speculate into a dead node: the push would be dropped
+        // at delivery but would still pollute the sharer set and the
+        // verification bookkeeping.
+        targets = targets.minus(faults_->deadSet());
+        if (targets.empty())
+            return;
+    }
     ColdEntry &c = cold(e);
     c.phaseTriggered = true;
     c.phaseTrig = trig;
@@ -721,6 +757,96 @@ Directory::verifyCopy(Entry &e, BlockId blk, const CohMsg &msg)
         vmsp_->eraseEntry(blk, c.specKey);
         c.misspecPenalized = true;
     }
+}
+
+// --- Fault layer -----------------------------------------------------
+
+void
+Directory::failover()
+{
+    // Cancel every pending directory action. The pool visits all
+    // carved events; only scheduled ones are live (an acquired event
+    // is always scheduled before control returns to the queue).
+    pool_.forEach([this](DirEvent &ev) {
+        if (ev.scheduled()) {
+            eq_.deschedule(ev);
+            pool_.release(ev);
+        }
+    });
+    entries_.clear();
+    memoEntry_ = nullptr;
+    coldArena_ = ChunkedVector<ColdEntry>{};
+}
+
+void
+Directory::adopt(BlockId blk, NodeId holder, bool modified)
+{
+    Entry &e = entry(blk);
+    if (modified) {
+        // MSI: a Modified copy excludes all others, so nothing can
+        // have been adopted for this block yet (and nothing will be).
+        e.state = DirState::Excl;
+        e.owner = holder;
+    } else {
+        e.state = DirState::Shared;
+        e.sharers.add(holder);
+    }
+}
+
+void
+Directory::pruneDead(NodeId v, Tick base)
+{
+    for (auto &kv : entries_) {
+        const BlockId blk = kv.first;
+        Entry &e = kv.second;
+
+        if (ColdEntry *c = e.cold) {
+            // Requests the dead node had queued die with it; the
+            // erase-remove keeps the survivors' arrival order.
+            c->deferred.erase(
+                std::remove_if(c->deferred.begin(), c->deferred.end(),
+                               [v](const CohMsg &m) { return m.src == v; }),
+                c->deferred.end());
+            c->specSent.remove(v);
+        }
+        e.sharers.remove(v);
+
+        switch (e.state) {
+          case DirState::Excl:
+            if (e.owner == v) {
+                // The owner's copy is gone; memory still has data.
+                e.state = DirState::Idle;
+                e.owner = invalidNode;
+            }
+            break;
+          case DirState::BusyRecall:
+            if (e.owner == v) {
+                // The recall (or its writeback) is lost with the
+                // node; absorb the writeback locally as of now.
+                absorbWriteBack(e, blk, base);
+            }
+            break;
+          case DirState::BusyInval: {
+            ColdEntry *c = e.cold;
+            if (c && c->ackWait.contains(v)) {
+                // The dead node can no longer acknowledge -- its copy
+                // is gone, which is what the ack would have asserted.
+                c->ackWait.remove(v);
+                if (--e.pendingAcks == 0) {
+                    e.state = DirState::BusyService;
+                    scheduleKind(DirEvent::Kind::Grant,
+                                 base + cfg_.dirLookup)
+                        .msg.blk = blk;
+                }
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    // The sweep mutated entries in place (no insertion), so the memo
+    // still points at live storage; leave it.
 }
 
 } // namespace mspdsm

@@ -62,6 +62,9 @@ struct DirStats
     Counter reqUpgrade; //!< upgrade requests received
     Counter recalls;    //!< demand recalls issued
     Counter invals;     //!< invalidations issued
+
+    // Fault layer; zero in fault-free runs.
+    Counter faultAborts; //!< grants abandoned: requester died mid-flight
 };
 
 /**
@@ -112,6 +115,46 @@ class Directory
     /** Owner of a block (invalidNode when none), for tests. */
     NodeId ownerOf(BlockId blk) const;
 
+    // ---- Fault layer (dsm/fault.hh). All optional: a directory with
+    // ---- no fault wiring behaves exactly as before.
+
+    /**
+     * Attach the fault layer. With it attached, write transactions
+     * record the requester's restart epoch so a grant whose requester
+     * died (or died and restarted) mid-flight is abandoned instead of
+     * wedging the block on a dead owner, and speculative pushes skip
+     * dead consumers.
+     */
+    void setFaults(FaultManager *f) { faults_ = f; }
+
+    /** Share the fault layer's home re-mapping table. */
+    void setHomeRemap(const NodeId *table) { map_.setRemap(table); }
+
+    /**
+     * Fail-stop this directory: cancel every pending directory event
+     * and drop all entry state. The shard is subsequently served by
+     * the backup home (re-map table), reconstructed via adopt().
+     */
+    void failover();
+
+    /**
+     * Backup-side reconstruction: record that surviving node
+     * @p holder caches @p blk (@p modified selects Excl-owner vs
+     * sharer). Survivors' shards are disjoint from ours, so adopted
+     * entries never collide with native ones.
+     */
+    void adopt(BlockId blk, NodeId holder, bool modified);
+
+    /**
+     * Surviving-directory sweep after node @p v fail-stops at
+     * @p base: drop @p v's deferred requests, prune it from sharer
+     * sets and speculation targets, release blocks it owned, absorb
+     * the writeback of a recall it can no longer answer, and stop
+     * waiting for its invalidation acks (completing the write
+     * transaction if it was the last one).
+     */
+    void pruneDead(NodeId v, Tick base);
+
   private:
     /**
      * Cold half of a directory entry, arena-allocated on first use
@@ -151,6 +194,10 @@ class Directory
          */
         unsigned swiBackoff = 0;
         unsigned swiPrematureCount = 0; //!< escalates the backoff
+
+        // Fault layer (only written with a FaultManager attached).
+        NodeSet ackWait; //!< nodes whose InvAck is still outstanding
+        std::uint8_t curReqEpoch = 0; //!< requester epoch at request
     };
 
     /**
@@ -375,6 +422,13 @@ class Directory
     void onInvAck(Entry &e, const CohMsg &msg, Tick base);
     void onWriteBack(Entry &e, const CohMsg &msg, Tick base);
 
+    /**
+     * The state machinery of onWriteBack, minus the arrival checks:
+     * also invoked by pruneDead() to absorb, at kill time, the
+     * writeback a dead owner can no longer send.
+     */
+    void absorbWriteBack(Entry &e, BlockId blk, Tick base);
+
     /** Grant exclusive ownership at the end of a write transaction. */
     void grantExcl(Entry &e, BlockId blk, Tick base);
 
@@ -430,6 +484,7 @@ class Directory
     Entry *memoEntry_ = nullptr;
     //! Cold records, attached on demand; addresses are stable.
     ChunkedVector<ColdEntry> coldArena_;
+    FaultManager *faults_ = nullptr; //!< fault layer; null = fault-free
     DirStats stats_;
     SpecStats specStats_;
 };

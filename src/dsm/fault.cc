@@ -1,0 +1,259 @@
+#include "dsm/fault.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "dsm/cache.hh"
+#include "dsm/directory.hh"
+#include "dsm/processor.hh"
+#include "net/network.hh"
+
+namespace mspdsm
+{
+
+FaultManager::FaultManager(EventQueue &eq, Network &net,
+                           const ProtoConfig &cfg, FaultPlan plan,
+                           std::vector<CacheCtrl *> caches,
+                           std::vector<Directory *> dirs,
+                           std::vector<Processor *> procs,
+                           std::vector<Vmsp *> vmsps,
+                           std::vector<std::vector<PredictorBase *>>
+                               nodePreds)
+    : eq_(eq), net_(net), cfg_(cfg), map_(cfg), plan_(std::move(plan)),
+      caches_(std::move(caches)), dirs_(std::move(dirs)),
+      procs_(std::move(procs)), vmsps_(std::move(vmsps)),
+      nodePreds_(std::move(nodePreds)), remap_(cfg.numNodes),
+      epoch_(cfg.numNodes, 0), ckpts_(cfg.numNodes)
+{
+    const unsigned n = cfg_.numNodes;
+    fatal_if(plan_.empty(), "FaultManager built with an empty plan");
+    fatal_if(plan_.backup != invalidNode && plan_.backup >= n,
+             "fault backup node ", plan_.backup, " out of range");
+    for (unsigned i = 0; i < n; ++i)
+        remap_[i] = static_cast<NodeId>(i);
+
+    // Wire the whole machine: epoch screen at the network, shared
+    // re-map table and retry FSM at every node, progress reporting at
+    // every processor.
+    net_.setFaults(this);
+    for (unsigned i = 0; i < n; ++i) {
+        caches_[i]->enableFaults();
+        caches_[i]->setHomeRemap(remap_.data());
+        dirs_[i]->setFaults(this);
+        dirs_[i]->setHomeRemap(remap_.data());
+        procs_[i]->setFaults(this);
+    }
+
+    for (const FaultEvent &fe : plan_.events) {
+        fatal_if(fe.node >= n,
+                 "fault plan names node ", fe.node, " of ", n);
+        PlanEvent &pe = planEvents_.emplace_back(this, fe.kind, fe.node);
+        eq_.schedule(fe.tick, pe);
+    }
+    if (plan_.ckptInterval > 0)
+        eq_.schedule(plan_.ckptInterval, ckptEvent_);
+    updateHorizon();
+    outcome_.faulted = true;
+}
+
+NodeId
+FaultManager::backupFor(NodeId v) const
+{
+    if (plan_.backup != invalidNode)
+        return plan_.backup;
+    return static_cast<NodeId>((v + 1u) % cfg_.numNodes);
+}
+
+std::uint64_t
+FaultManager::totalOps() const
+{
+    std::uint64_t ops = 0;
+    for (const Processor *p : procs_)
+        ops += p->stats().ops;
+    return ops;
+}
+
+bool
+FaultManager::killsPending() const
+{
+    for (std::size_t i = 0; i < planEvents_.size(); ++i) {
+        const PlanEvent &pe = planEvents_[i];
+        if (pe.kind == FaultKind::Kill && pe.scheduled())
+            return true;
+    }
+    return false;
+}
+
+void
+FaultManager::updateHorizon()
+{
+    Tick h = maxTick;
+    for (std::size_t i = 0; i < planEvents_.size(); ++i) {
+        const PlanEvent &pe = planEvents_[i];
+        if (pe.scheduled())
+            h = std::min(h, pe.when());
+    }
+    eq_.setFaultHorizon(h);
+}
+
+void
+FaultManager::planFired(PlanEvent &e)
+{
+    switch (e.kind) {
+      case FaultKind::Kill:
+        killNode(e.node);
+        break;
+      case FaultKind::Restart:
+        restartNode(e.node);
+        break;
+      case FaultKind::PredLoss:
+        predLoss(e.node);
+        break;
+    }
+    updateHorizon();
+}
+
+void
+FaultManager::killNode(NodeId v)
+{
+    fatal_if(dead(v), "fault plan kills node ", v, " twice");
+    const Tick now = eq_.curTick();
+
+    // Fail-stop: from this instant every message the node launched
+    // before the crash is recognizably stale (epoch bump) and every
+    // message addressed to it bounces or vanishes (dead set).
+    deadSet_.add(v);
+    ++epoch_[v];
+    procs_[v]->kill();
+    caches_[v]->kill();
+    dirs_[v]->failover();
+
+    // Re-home the victim's directory shard: one write into the
+    // indirection table every AddrMap in the machine shares.
+    const NodeId b = backupFor(v);
+    remap_[v] = b;
+
+    // Every surviving directory prunes the dead node from its own
+    // bookkeeping (sharer sets, pending acks, owned blocks).
+    for (std::size_t d = 0; d < dirs_.size(); ++d) {
+        const NodeId dn = static_cast<NodeId>(d);
+        if (dn != v && !dead(dn))
+            dirs_[d]->pruneDead(v, now);
+    }
+
+    // The backup reconstructs the shard from the surviving caches:
+    // exactly the sharing information a recovery protocol would
+    // collect. Each contributing node also sends one RehomeSync over
+    // the real interconnect, so reconstruction has a network cost.
+    if (b != v) {
+        for (std::size_t s = 0; s < caches_.size(); ++s) {
+            const NodeId sn = static_cast<NodeId>(s);
+            if (sn == v || dead(sn))
+                continue;
+            bool contributed = false;
+            caches_[s]->forEachLine([&](BlockId blk, LineState st) {
+                if (map_.geometricHomeOf(blk) == v) {
+                    dirs_[b]->adopt(blk, sn,
+                                    st == LineState::Modified);
+                    contributed = true;
+                }
+            });
+            if (contributed && sn != b) {
+                ++outcome_.rehomeSyncs;
+                CohMsg m;
+                m.type = MsgType::RehomeSync;
+                m.src = sn;
+                m.dst = b;
+                m.blk = 0;
+                net_.sendAt(now, m);
+            }
+        }
+    }
+
+    // The victim's predictor state dies with it.
+    for (PredictorBase *p : nodePreds_[v])
+        p->reset();
+
+    // Warm restart: the shard's new home inherits the last replicated
+    // checkpoint of the victim's VMSP instead of learning from cold.
+    if (plan_.warmRestart && b != v && vmsps_[b] && ckpts_[v])
+        vmsps_[b]->mergeFrom(*ckpts_[v]);
+
+    outcome_.killTick = now;
+    outcome_.opsAtKill = totalOps();
+}
+
+void
+FaultManager::restartNode(NodeId v)
+{
+    fatal_if(!dead(v), "fault plan restarts node ", v,
+             " which is not down");
+    const Tick now = eq_.curTick();
+    deadSet_.remove(v);
+    // The epoch stays bumped: stragglers from before the crash remain
+    // stale forever. The directory shard stays at the backup.
+    awaitingProgress_ = true;
+    procs_[v]->restart(now);
+    outcome_.restartTick = now;
+    outcome_.opsAtRestart = totalOps();
+}
+
+void
+FaultManager::predLoss(NodeId v)
+{
+    for (PredictorBase *p : nodePreds_[v])
+        p->reset();
+    ++outcome_.predLosses;
+}
+
+void
+FaultManager::noteProgress(NodeId, Tick t)
+{
+    if (awaitingProgress_) {
+        awaitingProgress_ = false;
+        outcome_.recoveredTick = t;
+    }
+}
+
+void
+FaultManager::checkpointFired()
+{
+    const Tick now = eq_.curTick();
+    // Checkpoint the predictor of every victim the plan still intends
+    // to kill; replicating everyone would charge traffic the recovery
+    // scheme never uses.
+    for (std::size_t i = 0; i < planEvents_.size(); ++i) {
+        const PlanEvent &pe = planEvents_[i];
+        if (pe.kind != FaultKind::Kill || !pe.scheduled())
+            continue;
+        const NodeId v = pe.node;
+        if (dead(v) || !vmsps_[v])
+            continue;
+        ckpts_[v] =
+            std::make_unique<Vmsp::Snapshot>(vmsps_[v]->snapshot());
+        ++outcome_.ckptSnapshots;
+        const NodeId b = backupFor(v);
+        if (b == v)
+            continue;
+        // Replication burst: a capped number of data-bearing messages
+        // proportional to the checkpoint size rides the real links.
+        const std::size_t blocks = ckpts_[v]->blockCount();
+        const std::size_t burst =
+            std::min<std::size_t>(16, 1 + blocks / 16);
+        for (std::size_t k = 0; k < burst; ++k) {
+            CohMsg m;
+            m.type = MsgType::CkptData;
+            m.src = v;
+            m.dst = b;
+            m.blk = static_cast<BlockId>(k);
+            net_.sendAt(now, m);
+        }
+        outcome_.ckptMessages += burst;
+    }
+    // Stop once nothing is left to protect, so the periodic timer
+    // cannot keep an otherwise-finished run alive.
+    if (killsPending())
+        eq_.schedule(now + plan_.ckptInterval, ckptEvent_);
+}
+
+} // namespace mspdsm

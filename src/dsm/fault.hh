@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Deterministic fault injection and recovery (the robustness layer).
+ *
+ * A FaultPlan is a fixed schedule of node fail-stops, restarts, and
+ * predictor-state losses, executed by the FaultManager as ordinary
+ * events on the simulation's event queue -- so fault runs are exactly
+ * as deterministic and repeatable as fault-free ones. The machine
+ * model:
+ *
+ *  - A *kill* fail-stops the node: its processor halts (rewinding any
+ *    op in flight), its cache loses every line, and its home
+ *    directory shard re-homes to a configured backup node by a swap
+ *    in the shared AddrMap indirection table (a table write, not a
+ *    geometry rebuild). The backup reconstructs the shard's directory
+ *    state from the surviving caches -- the same sharing information
+ *    a real recovery protocol would collect -- while every surviving
+ *    directory prunes the dead node from its own bookkeeping. All of
+ *    the victim's in-flight traffic is lost: sends are stamped with
+ *    the sender's restart epoch and the network drops stale-epoch
+ *    messages at delivery; messages *to* the dead node are dropped,
+ *    or bounced as a Nack when they are requests, feeding the cache
+ *    controllers' bounded timeout-and-retry FSM.
+ *  - A *restart* resumes the victim's processor with a cold cache
+ *    (and a bumped epoch, so pre-crash stragglers stay dead). The
+ *    directory shard stays at the backup -- there is no fail-back.
+ *  - Predictor state at the victim is lost on a kill (restart is
+ *    cold) unless the plan enables *warm restart*: the manager then
+ *    checkpoints the victim's VMSP every ckptInterval ticks, sending
+ *    the replication traffic over the real interconnect (CkptData),
+ *    and merges the last checkpoint into the backup's predictor at
+ *    kill time -- the replication-cost axis of the fault experiments.
+ *
+ * A machine without a FaultPlan never constructs a FaultManager and
+ * runs bit-identically to the pre-fault-layer code.
+ */
+
+#ifndef MSPDSM_DSM_FAULT_HH
+#define MSPDSM_DSM_FAULT_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/bitvector.hh"
+#include "base/chunked_vector.hh"
+#include "base/types.hh"
+#include "pred/vmsp.hh"
+#include "proto/config.hh"
+#include "sim/eventq.hh"
+
+namespace mspdsm
+{
+
+class CacheCtrl;
+class Directory;
+class Network;
+class Processor;
+
+/** What happens to a node at a scheduled fault tick. */
+enum class FaultKind : std::uint8_t
+{
+    Kill,     //!< fail-stop: processor, cache, and directory shard
+    Restart,  //!< resume the processor, cold cache, bumped epoch
+    PredLoss, //!< drop the node's predictor state only (no crash)
+};
+
+/** One scheduled fault. */
+struct FaultEvent
+{
+    Tick tick = 0;
+    NodeId node = invalidNode;
+    FaultKind kind = FaultKind::Kill;
+};
+
+/** A full fault schedule plus its recovery policy. */
+struct FaultPlan
+{
+    std::vector<FaultEvent> events;
+
+    /**
+     * Node adopting a victim's directory shard; invalidNode selects
+     * (victim + 1) % numNodes. Deliberately allowed to equal the
+     * victim: retries then keep bouncing off the dead node until the
+     * cache controller's bounded-retry FSM gives up -- the
+     * retry-exhaustion path the tests exercise.
+     */
+    NodeId backup = invalidNode;
+
+    /** Merge the last predictor checkpoint into the backup on kill. */
+    bool warmRestart = false;
+
+    /** Checkpoint period, ticks; 0 disables checkpointing. */
+    Tick ckptInterval = 0;
+
+    bool empty() const { return events.empty(); }
+};
+
+/**
+ * Aggregated fault/recovery outcome of one run; all-zero (with
+ * faulted == false) when no FaultPlan was configured, so the sweep
+ * JSON schema stays uniform.
+ */
+struct FaultOutcome
+{
+    bool faulted = false;      //!< a FaultPlan was configured
+
+    Tick killTick = 0;         //!< last Kill fired
+    Tick restartTick = 0;      //!< last Restart fired
+    Tick recoveredTick = 0;    //!< victim's first post-restart step
+
+    std::uint64_t opsAtKill = 0;    //!< machine-wide ops when killed
+    std::uint64_t opsAtRestart = 0; //!< ... and when restarted
+    std::uint64_t opsAtEnd = 0;     //!< ... and when the run drained
+                                    //!< (filled by DsmSystem::run)
+
+    std::uint64_t staleDropped = 0; //!< pre-crash messages dropped
+    std::uint64_t deadDropped = 0;  //!< non-requests to a dead node
+    std::uint64_t nacksSent = 0;    //!< requests bounced off the dead
+    std::uint64_t rehomeSyncs = 0;  //!< reconstruction sync messages
+    std::uint64_t ckptSnapshots = 0; //!< predictor checkpoints taken
+    std::uint64_t ckptMessages = 0;  //!< CkptData replication messages
+    std::uint64_t predLosses = 0;    //!< PredLoss events fired
+
+    // Cache-side retry FSM, summed over nodes (system.cc fills these
+    // from CacheStats at run end).
+    std::uint64_t retries = 0;
+    std::uint64_t nacksSeen = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t staleFills = 0;
+    std::uint64_t dirAborts = 0; //!< grants abandoned at directories
+};
+
+/**
+ * Executes a FaultPlan against an assembled machine. Constructed by
+ * DsmSystem only when the plan is non-empty; construction wires the
+ * network's epoch screen, every node's home re-map table, the cache
+ * retry FSMs, and the processors' progress reporting.
+ */
+class FaultManager
+{
+  public:
+    /**
+     * @param eq the machine's event queue
+     * @param net the interconnect (epoch stamping/screening)
+     * @param cfg machine configuration (geometry)
+     * @param plan the fault schedule; must be non-empty
+     * @param caches,dirs,procs per-node agents, index == NodeId
+     * @param vmsps per-node speculation VMSPs (entries may be null)
+     * @param nodePreds all predictors resident at each node (the
+     *        speculation VMSP and passive observers); reset on kill
+     */
+    FaultManager(EventQueue &eq, Network &net, const ProtoConfig &cfg,
+                 FaultPlan plan, std::vector<CacheCtrl *> caches,
+                 std::vector<Directory *> dirs,
+                 std::vector<Processor *> procs,
+                 std::vector<Vmsp *> vmsps,
+                 std::vector<std::vector<PredictorBase *>> nodePreds);
+
+    FaultManager(const FaultManager &) = delete;
+    FaultManager &operator=(const FaultManager &) = delete;
+
+    // ---- Hot-path queries (network delivery screen, directories).
+
+    /** Restart epoch of node @p n (bumped once per kill). */
+    std::uint8_t epoch(NodeId n) const { return epoch_[n]; }
+
+    /** True while node @p n is fail-stopped. */
+    bool dead(NodeId n) const { return deadSet_.contains(n); }
+
+    /** The currently dead nodes (speculation target filtering). */
+    NodeSet deadSet() const { return deadSet_; }
+
+    // ---- Delivery-screen accounting (network).
+
+    void noteStaleDropped() { ++outcome_.staleDropped; }
+    void noteDeadDropped() { ++outcome_.deadDropped; }
+    void noteNackSent() { ++outcome_.nacksSent; }
+
+    /** A restarted processor's first step() dispatch at tick @p t. */
+    void noteProgress(NodeId n, Tick t);
+
+    /** Outcome so far (final after the run drains). */
+    const FaultOutcome &outcome() const { return outcome_; }
+
+  private:
+    /** One scheduled plan entry riding the event queue. */
+    struct PlanEvent final : public Event
+    {
+        PlanEvent(FaultManager *m, FaultKind k, NodeId n)
+            : mgr(m), kind(k), node(n)
+        {}
+
+        void process() override { mgr->planFired(*this); }
+
+        FaultManager *mgr;
+        FaultKind kind;
+        NodeId node;
+    };
+
+    /** The periodic predictor-checkpoint timer. */
+    struct CkptEvent final : public Event
+    {
+        explicit CkptEvent(FaultManager *m) : mgr(m) {}
+
+        void process() override { mgr->checkpointFired(); }
+
+        FaultManager *mgr;
+    };
+
+    void planFired(PlanEvent &e);
+    void killNode(NodeId v);
+    void restartNode(NodeId v);
+    void predLoss(NodeId v);
+    void checkpointFired();
+
+    /** Re-derive the fusion ceiling from still-pending plan events. */
+    void updateHorizon();
+
+    /** The node adopting @p v's shard under this plan. */
+    NodeId backupFor(NodeId v) const;
+
+    /** Machine-wide executed-op total (phase-throughput sampling). */
+    std::uint64_t totalOps() const;
+
+    /** True while any Kill entry is still scheduled. */
+    bool killsPending() const;
+
+    EventQueue &eq_;
+    Network &net_;
+    const ProtoConfig &cfg_;
+    AddrMap map_; //!< geometric homes for shard reconstruction
+    FaultPlan plan_;
+    std::vector<CacheCtrl *> caches_;
+    std::vector<Directory *> dirs_;
+    std::vector<Processor *> procs_;
+    std::vector<Vmsp *> vmsps_;
+    std::vector<std::vector<PredictorBase *>> nodePreds_;
+
+    std::vector<NodeId> remap_;       //!< shared per-home indirection
+    std::vector<std::uint8_t> epoch_; //!< per-node restart epoch
+    NodeSet deadSet_;
+
+    ChunkedVector<PlanEvent> planEvents_; //!< stable addresses
+    CkptEvent ckptEvent_{this};
+    //! Latest predictor checkpoint per node (warm-restart source).
+    std::vector<std::unique_ptr<Vmsp::Snapshot>> ckpts_;
+
+    bool awaitingProgress_ = false; //!< restart fired, no step yet
+    FaultOutcome outcome_;
+};
+
+} // namespace mspdsm
+
+#endif // MSPDSM_DSM_FAULT_HH

@@ -1,9 +1,22 @@
 #include "dsm/processor.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
+#include "dsm/fault.hh"
 
 namespace mspdsm
 {
+
+bool
+GlobalBarrier::removeWaiter(const Event &resume)
+{
+    auto it = std::find(waiting_.begin(), waiting_.end(), &resume);
+    if (it == waiting_.end())
+        return false;
+    waiting_.erase(it);
+    return true;
+}
 
 void
 GlobalBarrier::arrive(Event &resume, Tick base)
@@ -44,6 +57,12 @@ void
 Processor::step(Tick now)
 {
     panic_if(!started_, "processor ", id_, " started without a trace");
+    if (resumeNotify_) [[unlikely]] {
+        // First dispatch after a restart: this is the node resuming
+        // useful work, the endpoint of the time-to-recover metric.
+        resumeNotify_ = false;
+        faults_->noteProgress(id_, now);
+    }
     Tick vt = now;
     const auto advanceOk = [&](Tick to) {
         return eq_.canFuseBefore(to);
@@ -127,6 +146,47 @@ Processor::accessDone(AccessRecord &r, bool remote, Tick base)
     if (remote)
         stats_.requestWait += stall;
     step(base);
+}
+
+void
+Processor::kill()
+{
+    if (!started_ || done_)
+        return;
+    if (barrier_.removeWaiter(stepEvent_)) {
+        // Parked at a barrier: rewind the arrival so the restarted
+        // processor re-arrives (the episode still needs all parties).
+        --pc_;
+        --stats_.ops;
+        resumeAt_ = 0;
+        return;
+    }
+    if (stepEvent_.scheduled()) {
+        // Between ops (compute expiry, fused-hit resume, or a
+        // released barrier's resume): remember when it would have
+        // continued; no op is lost.
+        resumeAt_ = stepEvent_.when();
+        eq_.deschedule(stepEvent_);
+        return;
+    }
+    // Blocked on a memory access; the cache kill squashes it and its
+    // completion never fires. Rewind so the restarted processor
+    // re-issues it against its cold cache.
+    --pc_;
+    --stats_.ops;
+    resumeAt_ = 0;
+}
+
+void
+Processor::restart(Tick base)
+{
+    if (!started_ || done_)
+        return;
+    panic_if(stepEvent_.scheduled(),
+             "processor ", id_, " restarted while running");
+    resumeNotify_ = faults_ != nullptr;
+    eq_.schedule(std::max(base, resumeAt_), stepEvent_);
+    resumeAt_ = 0;
 }
 
 } // namespace mspdsm

@@ -51,6 +51,15 @@ class GlobalBarrier
     /** Number of completed barrier episodes. */
     std::uint64_t episodes() const { return episodes_; }
 
+    /**
+     * Withdraw a parked waiter (fault layer: the waiter's node died).
+     * The episode still requires all parties, so the survivors stall
+     * until the node restarts and re-arrives -- that stall *is* the
+     * recovery cost the fault experiments measure.
+     * @return true iff @p resume was parked and has been removed
+     */
+    bool removeWaiter(const Event &resume);
+
   private:
     EventQueue &eq_;
     unsigned parties_;
@@ -121,6 +130,28 @@ class Processor
     /** This processor's node id. */
     NodeId id() const { return id_; }
 
+    // ---- Fault layer (dsm/fault.hh). Optional; a processor with no
+    // ---- fault wiring behaves exactly as before.
+
+    /** Attach the fault layer (for the post-restart progress report). */
+    void setFaults(FaultManager *f) { faults_ = f; }
+
+    /**
+     * Fail-stop: stop executing. A pending between-ops resume is
+     * descheduled (and its tick remembered); an op in flight -- a
+     * blocked memory access the cache kill squashes, or a barrier
+     * arrival being withdrawn -- is rewound so the restarted
+     * processor re-executes it.
+     */
+    void kill();
+
+    /**
+     * Resume execution at @p base >= the kill tick (or at the
+     * remembered resume tick if that lies later). The first step()
+     * dispatch afterwards reports progress to the fault layer.
+     */
+    void restart(Tick base);
+
   private:
     struct StepEvent final : public Event
     {
@@ -172,6 +203,9 @@ class Processor
     std::size_t pc_ = 0;
     bool started_ = false;
     bool done_ = false;
+    FaultManager *faults_ = nullptr; //!< fault layer; null = fault-free
+    Tick resumeAt_ = 0;        //!< descheduled resume tick (kill)
+    bool resumeNotify_ = false; //!< report the next step() dispatch
     ProcStats stats_;
 };
 

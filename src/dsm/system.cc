@@ -84,6 +84,26 @@ DsmSystem::DsmSystem(const DsmConfig &cfg)
 
     for (unsigned i = 0; i < n; ++i)
         procs_.emplace_back(NodeId(i), eq_, caches_[i], *barrier_);
+
+    if (!cfg_.faults.empty()) {
+        std::vector<CacheCtrl *> cachev;
+        std::vector<Directory *> dirv;
+        std::vector<Processor *> procv;
+        std::vector<std::vector<PredictorBase *>> nodePreds(n);
+        for (unsigned i = 0; i < n; ++i) {
+            cachev.push_back(&caches_[i]);
+            dirv.push_back(&dirs_[i]);
+            procv.push_back(&procs_[i]);
+            if (preds_[i])
+                nodePreds[i].push_back(preds_[i].get());
+            for (auto &o : obs_[i])
+                nodePreds[i].push_back(o.get());
+        }
+        faults_ = std::make_unique<FaultManager>(
+            eq_, *net_, cfg_.proto, cfg_.faults, std::move(cachev),
+            std::move(dirv), std::move(procv), vmsps_,
+            std::move(nodePreds));
+    }
 }
 
 DsmSystem::~DsmSystem() = default;
@@ -130,13 +150,39 @@ DsmSystem::run(const CompiledWorkload &w)
     } else {
         // A drained queue with an unfinished trace cannot make
         // further progress: that is a protocol bug, not a guard trip.
-        for (std::size_t i = 0; i < procs_.size(); ++i)
-            panic_if(!procs_[i].done(), "processor ", procs_[i].id(),
+        // Exception: a fault plan that kills a node and never restarts
+        // it legitimately wedges the machine (survivors park at the
+        // barrier waiting for the dead node); report partial results.
+        for (std::size_t i = 0; i < procs_.size(); ++i) {
+            if (procs_[i].done())
+                continue;
+            panic_if(!faults_ || faults_->deadSet().empty(),
+                     "processor ", procs_[i].id(),
                      " did not finish its trace");
+            r.status = RunStatus::TickLimit;
+            break;
+        }
     }
     r.execTicks = eq_.endTick();
     r.barrierEpisodes = barrier_->episodes();
     r.messages = net_->messagesSent();
+    r.queueingCycles = net_->queueingCycles();
+    r.linkQueueingCycles = net_->linkQueueingCycles();
+
+    if (faults_) {
+        r.fault = faults_->outcome();
+        for (std::size_t i = 0; i < procs_.size(); ++i)
+            r.fault.opsAtEnd += procs_[i].stats().ops;
+        for (std::size_t i = 0; i < caches_.size(); ++i) {
+            const CacheStats &cs = caches_[i].stats();
+            r.fault.retries += cs.retries.value();
+            r.fault.nacksSeen += cs.nacks.value();
+            r.fault.timeouts += cs.timeouts.value();
+            r.fault.staleFills += cs.staleFills.value();
+        }
+        for (std::size_t i = 0; i < dirs_.size(); ++i)
+            r.fault.dirAborts += dirs_[i].stats().faultAborts.value();
+    }
 
     double wait_sum = 0.0;
     double mem_sum = 0.0;

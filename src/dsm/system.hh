@@ -16,6 +16,7 @@
 
 #include "dsm/cache.hh"
 #include "dsm/directory.hh"
+#include "dsm/fault.hh"
 #include "dsm/processor.hh"
 #include "net/network.hh"
 #include "pred/predictor.hh"
@@ -66,6 +67,12 @@ struct DsmConfig
     std::vector<ObserverSpec> observers;
     Tick barrierCost = 50;               //!< barrier release latency
     Tick tickLimit = Tick{1} << 40;      //!< deadlock guard
+    /**
+     * Fault schedule; empty (the default) means no FaultManager is
+     * constructed and the machine runs bit-identically to the
+     * pre-fault-layer code.
+     */
+    FaultPlan faults;
 };
 
 /** Per-observer accuracy/storage results. */
@@ -122,6 +129,13 @@ struct RunResult
 
     std::uint64_t messages = 0; //!< total network messages
     std::uint64_t barrierEpisodes = 0;
+
+    // Interconnect contention (NI serialization and per-link queueing).
+    std::uint64_t queueingCycles = 0;
+    std::uint64_t linkQueueingCycles = 0;
+
+    /** Fault/recovery outcome; all-zero when no FaultPlan was set. */
+    FaultOutcome fault;
 };
 
 /**
@@ -188,6 +202,9 @@ class DsmSystem
     /** The event queue (tests). */
     EventQueue &eventQueue() { return eq_; }
 
+    /** The fault manager; null unless the config has a plan (tests). */
+    FaultManager *faultManager() { return faults_.get(); }
+
     /** The configuration in force. */
     const DsmConfig &config() const { return cfg_; }
 
@@ -206,6 +223,9 @@ class DsmSystem
     ChunkedVector<Directory, 16> dirs_;
     std::unique_ptr<GlobalBarrier> barrier_;
     ChunkedVector<Processor, 16> procs_;
+    //! Constructed only when cfg_.faults is non-empty: the fault-free
+    //! machine carries no fault machinery at all.
+    std::unique_ptr<FaultManager> faults_;
     //! Workload compiled by run(const std::vector<Trace>&); owned by
     //! the system (not the call's stack frame) because a TickLimit
     //! trip leaves the queue resumable with spans into its arena.

@@ -35,6 +35,16 @@ baseConfig(const ExperimentConfig &ec, Tick netJitter)
     cfg.proto.topo = ec.topo;
     if (ec.tickLimit)
         cfg.tickLimit = ec.tickLimit;
+    if (ec.failNode != invalidNode) {
+        cfg.faults.events.push_back(
+            {ec.failTick, ec.failNode, FaultKind::Kill});
+        if (ec.recoverTick > 0)
+            cfg.faults.events.push_back(
+                {ec.recoverTick, ec.failNode, FaultKind::Restart});
+        cfg.faults.backup = ec.backupNode;
+        cfg.faults.warmRestart = ec.warmRestart;
+        cfg.faults.ckptInterval = ec.ckptInterval;
+    }
     return cfg;
 }
 

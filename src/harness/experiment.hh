@@ -33,6 +33,23 @@ struct ExperimentConfig
     TopoConfig topo = {};
     /** Deadlock-guard override; 0 keeps the DsmConfig default. */
     Tick tickLimit = 0;
+
+    // ---- Fault injection (--fail-* flags). All defaults are inert:
+    // failNode == invalidNode builds no fault plan at all and the run
+    // is bit-identical to a pre-fault-layer run.
+
+    /** Node to fail-stop; invalidNode disables fault injection. */
+    NodeId failNode = invalidNode;
+    /** Tick at which failNode is killed. */
+    Tick failTick = 0;
+    /** Tick at which failNode restarts; 0 = never restarted. */
+    Tick recoverTick = 0;
+    /** Adopter of the victim's shard; invalidNode = (victim+1)%n. */
+    NodeId backupNode = invalidNode;
+    /** Warm-restart the predictor from replicated checkpoints. */
+    bool warmRestart = false;
+    /** Predictor checkpoint period, ticks; 0 disables. */
+    Tick ckptInterval = 0;
 };
 
 /**

@@ -234,6 +234,30 @@ SweepRunner::writeJson(std::ostream &os, const std::string &tool)
            << ", \"messages\": " << res.messages
            << ", \"reads\": " << res.reads
            << ", \"writes\": " << res.writes
+           // Interconnect contention; additive mspdsm-sweep-v1 fields
+           // (zero on an uncontended fabric, never omitted).
+           << ", \"queueing_cycles\": " << res.queueingCycles
+           << ", \"link_queueing_cycles\": " << res.linkQueueingCycles
+           // Fault/recovery outcome; uniform schema, all-zero with
+           // "faulted": false when the run had no fault plan.
+           << ", \"faulted\": "
+           << (res.fault.faulted ? "true" : "false")
+           << ", \"kill_tick\": " << res.fault.killTick
+           << ", \"restart_tick\": " << res.fault.restartTick
+           << ", \"recovered_tick\": " << res.fault.recoveredTick
+           << ", \"ops_at_kill\": " << res.fault.opsAtKill
+           << ", \"ops_at_restart\": " << res.fault.opsAtRestart
+           << ", \"stale_dropped\": " << res.fault.staleDropped
+           << ", \"dead_dropped\": " << res.fault.deadDropped
+           << ", \"nacks_sent\": " << res.fault.nacksSent
+           << ", \"rehome_syncs\": " << res.fault.rehomeSyncs
+           << ", \"ckpt_snapshots\": " << res.fault.ckptSnapshots
+           << ", \"ckpt_messages\": " << res.fault.ckptMessages
+           << ", \"retries\": " << res.fault.retries
+           << ", \"nacks_seen\": " << res.fault.nacksSeen
+           << ", \"timeouts\": " << res.fault.timeouts
+           << ", \"stale_fills\": " << res.fault.staleFills
+           << ", \"dir_aborts\": " << res.fault.dirAborts
            << ", \"seconds\": " << r.seconds << "}"
            << (i + 1 < records_.size() ? "," : "") << "\n";
     }

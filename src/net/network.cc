@@ -5,6 +5,7 @@
 #include "base/logging.hh"
 #include "dsm/cache.hh"
 #include "dsm/directory.hh"
+#include "dsm/fault.hh"
 
 namespace mspdsm
 {
@@ -39,6 +40,37 @@ Network::attach(NodeId n, RawDeliver fn, void *ctx)
 void
 Network::deliver(const CohMsg &msg, Tick base)
 {
+    if (faults_) [[unlikely]] {
+        // Epoch screen: a message stamped before its sender's crash
+        // must not mutate post-recovery state. Dropping it here --
+        // the single delivery funnel for both the evented and the
+        // fused paths -- is what makes "all in-flight traffic of the
+        // victim is lost" an invariant rather than a per-handler
+        // case analysis.
+        if (msg.srcEpoch != faults_->epoch(msg.src)) {
+            faults_->noteStaleDropped();
+            return;
+        }
+        if (faults_->dead(msg.dst)) {
+            if (isRequest(msg.type)) {
+                // Bounce requests so the sender's retry FSM backs
+                // off and re-resolves the (re-homed) home instead of
+                // waiting out its full timeout. The Nack is sent as
+                // the dead node with its *current* epoch, so it
+                // passes the stale screen above.
+                faults_->noteNackSent();
+                CohMsg nack;
+                nack.type = MsgType::Nack;
+                nack.src = msg.dst;
+                nack.dst = msg.src;
+                nack.blk = msg.blk;
+                sendAt(base, nack);
+            } else {
+                faults_->noteDeadDropped();
+            }
+            return;
+        }
+    }
     const Sink &s = sinks_[msg.dst];
     if (s.cache) [[likely]] {
         // A full node: route by message type. Requests and
@@ -61,6 +93,8 @@ Network::sendAt(Tick base, CohMsg msg)
     panic_if(!sinks_[msg.dst].attached(), "send: node ", msg.dst,
              " has no sink");
     panic_if(base < eq_.curTick(), "sendAt: base tick in the past");
+    if (faults_) [[unlikely]]
+        msg.srcEpoch = faults_->epoch(msg.src);
     sent_.inc();
 
     const Tick now = base;

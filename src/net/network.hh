@@ -40,6 +40,7 @@ namespace mspdsm
 
 class CacheCtrl;
 class Directory;
+class FaultManager;
 
 /**
  * The interconnect. Owns no protocol state; it only moves CohMsg
@@ -106,6 +107,15 @@ class Network
 
     /** The routing geometry in force (tests, experiments). */
     const Topology &topology() const { return topo_; }
+
+    /**
+     * Attach the fault layer (null in fault-free runs, the default).
+     * With it attached, every send is stamped with its source's
+     * restart epoch and every delivery is screened: stale-epoch
+     * messages are dropped, messages to a dead node are dropped or
+     * (for requests) bounced back as a Nack.
+     */
+    void setFaults(FaultManager *f) { faults_ = f; }
 
   private:
     /**
@@ -204,6 +214,7 @@ class Network
     std::vector<Tick> linkFree_; //!< next free tick per fabric link
     std::vector<Tick> pairLast_; //!< last arrival per (src,dst) pair
     EventPool<NetEvent> pool_;
+    FaultManager *faults_ = nullptr; //!< fault layer; null = fault-free
     unsigned fuseDepth_ = 0; //!< live inline deliveries on the stack
     Counter sent_;
     Counter queued_;

@@ -112,6 +112,14 @@ class PredictorBase
     /** Storage accounting over all blocks touched so far. */
     virtual StorageReport storage() const = 0;
 
+    /**
+     * Drop all learned state (histories, pattern tables) -- the fault
+     * layer's predictor-state loss on a node crash. Accuracy counters
+     * are measurements, not machine state, and survive. The default
+     * is a no-op so stateless test doubles need not care.
+     */
+    virtual void reset() {}
+
     /** Accuracy/coverage counters. */
     const PredStats &stats() const { return stats_; }
 

@@ -114,4 +114,40 @@ Vmsp::storage() const
     return r;
 }
 
+Vmsp::Snapshot
+Vmsp::snapshot() const
+{
+    Snapshot s;
+    s.blocks_.reserve(index_.size());
+    for (const auto &kv : index_)
+        s.blocks_.emplace_back(kv.first, *kv.second);
+    return s;
+}
+
+void
+Vmsp::mergeFrom(const Snapshot &s)
+{
+    for (const auto &kv : s.blocks_) {
+        index_.reserveGrouped(blockGroup);
+        auto [it, fresh] = index_.try_emplace(kv.first, nullptr);
+        if (!fresh) {
+            // Live state is fresher than any checkpoint: keep it.
+            continue;
+        }
+        it->second = &store_.emplace_back(kv.second);
+        pteTotal_ += kv.second.pattern.entries();
+    }
+    // Inserts may have rehashed the index, but block records live in
+    // the stable arena, so the most-recent-block memo stays valid.
+}
+
+void
+Vmsp::reset()
+{
+    index_.clear();
+    store_ = ChunkedVector<BlockState, blockGroup>{};
+    pteTotal_ = 0;
+    memoSt_ = nullptr;
+}
+
 } // namespace mspdsm

@@ -26,6 +26,8 @@
 #define MSPDSM_PRED_VMSP_HH
 
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "base/chunked_vector.hh"
 #include "base/flat_map.hh"
@@ -145,6 +147,28 @@ class Vmsp final : public PredictorBase
     /** Remove a misspeculated entry from the pattern table. */
     void eraseEntry(BlockId blk, const HistoryKey &k);
 
+    // ---- Fault layer: checkpoint / restore / cold restart.
+
+    /** Opaque deep copy of all per-block state (defined below). */
+    class Snapshot;
+
+    /**
+     * Deep-copy every block's prediction state. Taken periodically by
+     * the fault layer's checkpoint schedule; the copy is what a warm
+     * restart merges into the backup home's predictor.
+     */
+    Snapshot snapshot() const;
+
+    /**
+     * Merge a checkpoint: blocks this predictor has no state for are
+     * adopted wholesale; blocks it is already tracking keep their
+     * (fresher) live state.
+     */
+    void mergeFrom(const Snapshot &s);
+
+    /** Cold restart: drop all learned state, keep the statistics. */
+    void reset() override;
+
   private:
     struct BlockState
     {
@@ -194,6 +218,22 @@ class Vmsp final : public PredictorBase
                                  //!< maintained incrementally
     BlockId memoBlk_ = 0;
     BlockState *memoSt_ = nullptr;
+
+  public:
+    /**
+     * A predictor checkpoint: value copies of every block record at
+     * snapshot time. Opaque to everything but Vmsp; the fault layer
+     * only sizes its replication traffic from blockCount().
+     */
+    class Snapshot
+    {
+        friend class Vmsp;
+        std::vector<std::pair<BlockId, BlockState>> blocks_;
+
+      public:
+        /** Blocks captured (sizes the CkptData replication burst). */
+        std::size_t blockCount() const { return blocks_.size(); }
+    };
 };
 
 } // namespace mspdsm

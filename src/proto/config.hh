@@ -173,19 +173,43 @@ class AddrMap
         return blockPow2_ ? a >> blockShift_ : a / blockSize_;
     }
 
-    /** Home node of a block (== ProtoConfig::homeOf). */
+    /**
+     * Home node of a block (== ProtoConfig::homeOf in a fault-free
+     * machine). With a re-home table attached, the geometric home is
+     * one extra indexed load away from the current home -- directory
+     * re-homing after a node failure is a table swap, not a geometry
+     * rebuild. remap_ is null by default, so fault-free runs pay one
+     * predictable branch.
+     */
     NodeId
     homeOf(BlockId blk) const
+    {
+        const NodeId h = geometricHomeOf(blk);
+        return remap_ ? remap_[h] : h;
+    }
+
+    /** Home node by machine geometry alone, ignoring any re-homing. */
+    NodeId
+    geometricHomeOf(BlockId blk) const
     {
         const BlockId page = bppPow2_ ? blk >> bppShift_ : blk / bpp_;
         return static_cast<NodeId>(nodesPow2_ ? page & nodesMask_
                                               : page % nodes_);
     }
 
+    /**
+     * Attach a per-home indirection table of at least numNodes
+     * entries (owned by the fault layer, shared by every AddrMap in
+     * the machine so all components re-home atomically when the fault
+     * sweep rewrites an entry). Null detaches.
+     */
+    void setRemap(const NodeId *table) { remap_ = table; }
+
     /** Block size the mapping was built with, in bytes. */
     unsigned blockSizeBytes() const { return blockSize_; }
 
   private:
+    const NodeId *remap_ = nullptr;
     unsigned blockSize_;
     unsigned bpp_;
     unsigned nodes_;

@@ -33,6 +33,12 @@ msgTypeName(MsgType t)
         return "UpgradeAck";
       case MsgType::SpecData:
         return "SpecData";
+      case MsgType::Nack:
+        return "Nack";
+      case MsgType::RehomeSync:
+        return "RehomeSync";
+      case MsgType::CkptData:
+        return "CkptData";
     }
     panic("unknown MsgType ", int(t));
 }

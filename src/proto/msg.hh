@@ -41,6 +41,13 @@ enum class MsgType : std::uint8_t
 
     // Speculation: home directory -> predicted consumer cache.
     SpecData, //!< speculatively forwarded read-only copy
+
+    // Fault-injection layer (dsm/fault.hh). None of these exist in a
+    // fault-free run, so the paper-reproduction protocol above is
+    // untouched when no FaultPlan is configured.
+    Nack,       //!< request bounced off a dead node; retry at sender
+    RehomeSync, //!< directory-reconstruction sync, cache -> backup home
+    CkptData,   //!< predictor checkpoint replication, victim -> backup
 };
 
 /** @return mnemonic name of a message type. */
@@ -60,7 +67,8 @@ constexpr bool
 carriesData(MsgType t)
 {
     return t == MsgType::WriteBack || t == MsgType::DataShared ||
-           t == MsgType::DataExcl || t == MsgType::SpecData;
+           t == MsgType::DataExcl || t == MsgType::SpecData ||
+           t == MsgType::CkptData;
 }
 
 /** Why a speculative read-only copy was pushed to a consumer. */
@@ -121,6 +129,15 @@ struct CohMsg
      * rather than computation (Figure 9 breakdown).
      */
     std::uint8_t remoteWork : 1 = 0;
+
+    /**
+     * Sender's restart epoch at send time (fault layer). A node's
+     * epoch bumps when it is killed, so a message launched before the
+     * crash is recognizably stale on delivery and dropped instead of
+     * mutating post-recovery state. Occupies what was the struct's
+     * padding byte; always 0 in fault-free runs.
+     */
+    std::uint8_t srcEpoch = 0;
 
     BlockId blk = 0;
 

@@ -100,6 +100,21 @@ class EventPool
     /** Return an event to the pool. */
     void release(T &e) { free_.push_back(&e); }
 
+    /**
+     * Visit every event ever carved from this pool, live or free
+     * (free-listed events are never scheduled, so callers that only
+     * care about pending ones filter on Event::scheduled()). This is
+     * the mass-cancellation primitive: a component going down walks
+     * its pool, descheduling and releasing everything still pending.
+     */
+    template <typename F>
+    void
+    forEach(F &&f)
+    {
+        for (std::size_t i = 0; i < slab_.size(); ++i)
+            f(slab_[i]);
+    }
+
   private:
     ChunkedVector<T> slab_;
     std::vector<T *> free_;
@@ -208,6 +223,15 @@ class EventQueue
         // identically or a tick-limited run would misreport Completed.
         if (when > runLimit_)
             return false;
+        // Never fuse across a fault boundary: state at or after the
+        // next scheduled fault tick depends on the fault's sweep
+        // (dead-node drops, re-homed directories), so work based
+        // there must go through the event path. The pending fault
+        // event already makes the memo/scan checks below refuse such
+        // ticks; this explicit horizon is the documented hard
+        // guarantee, independent of memo state.
+        if (when >= faultHorizon_)
+            return false;
         if (minValid_) [[likely]]
             return when < minHint_;
         if (fuseSkip_ > 0) {
@@ -253,6 +277,17 @@ class EventQueue
 
     /** Total number of events executed over the queue's lifetime. */
     std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Set the earliest tick at which machine state may change
+     * abruptly (the next scheduled fault). canFuseBefore() refuses
+     * any base tick at or beyond it. maxTick (the default) disables
+     * the gate; the fault layer advances it as fault events fire.
+     */
+    void setFaultHorizon(Tick t) { faultHorizon_ = t; }
+
+    /** The current fault-fusion horizon (maxTick = none). */
+    Tick faultHorizon() const { return faultHorizon_; }
 
   private:
     /**
@@ -421,6 +456,7 @@ class EventQueue
     mutable Tick minHint_ = 0;
     mutable bool minValid_ = false;
     Tick runLimit_ = maxTick; //!< active run()'s deadlock-guard limit
+    Tick faultHorizon_ = maxTick; //!< next fault tick; fusion ceiling
     unsigned fuseSkip_ = 0;  //!< guard scans to decline outright
     unsigned fuseFails_ = 0; //!< consecutive scan-and-fail outcomes
     std::uint64_t nextSeq_ = 0;

@@ -1,0 +1,196 @@
+/** @file Fault injection and recovery: determinism of faulted runs,
+ * inertness of the fault layer when unconfigured, recovery-phase
+ * bookkeeping, warm-restart checkpointing, and the bounded-retry
+ * exhaustion path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
+
+using namespace mspdsm;
+
+namespace
+{
+
+ExperimentConfig
+tiny()
+{
+    ExperimentConfig ec;
+    ec.scale = 0.25;
+    ec.iterations = 2;
+    return ec;
+}
+
+/** tiny() plus the reference fault plan used throughout this file:
+ * kill node 3 mid-run, restart it 30k ticks later. */
+ExperimentConfig
+faulted()
+{
+    ExperimentConfig ec = tiny();
+    ec.failNode = 3;
+    ec.failTick = 40000;
+    ec.recoverTick = 70000;
+    return ec;
+}
+
+/** Every externally observable number of a run, fault axis included. */
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.execTicks, b.execTicks);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_EQ(a.specServedSwi, b.specServedSwi);
+    EXPECT_EQ(a.swiSent, b.swiSent);
+    EXPECT_EQ(a.queueingCycles, b.queueingCycles);
+    EXPECT_EQ(a.linkQueueingCycles, b.linkQueueingCycles);
+    EXPECT_EQ(a.fault.killTick, b.fault.killTick);
+    EXPECT_EQ(a.fault.restartTick, b.fault.restartTick);
+    EXPECT_EQ(a.fault.recoveredTick, b.fault.recoveredTick);
+    EXPECT_EQ(a.fault.opsAtKill, b.fault.opsAtKill);
+    EXPECT_EQ(a.fault.opsAtRestart, b.fault.opsAtRestart);
+    EXPECT_EQ(a.fault.opsAtEnd, b.fault.opsAtEnd);
+    EXPECT_EQ(a.fault.staleDropped, b.fault.staleDropped);
+    EXPECT_EQ(a.fault.deadDropped, b.fault.deadDropped);
+    EXPECT_EQ(a.fault.nacksSent, b.fault.nacksSent);
+    EXPECT_EQ(a.fault.rehomeSyncs, b.fault.rehomeSyncs);
+    EXPECT_EQ(a.fault.ckptSnapshots, b.fault.ckptSnapshots);
+    EXPECT_EQ(a.fault.ckptMessages, b.fault.ckptMessages);
+    EXPECT_EQ(a.fault.retries, b.fault.retries);
+    EXPECT_EQ(a.fault.nacksSeen, b.fault.nacksSeen);
+    EXPECT_EQ(a.fault.timeouts, b.fault.timeouts);
+    EXPECT_EQ(a.fault.staleFills, b.fault.staleFills);
+    EXPECT_EQ(a.fault.dirAborts, b.fault.dirAborts);
+}
+
+} // namespace
+
+TEST(Fault, UnconfiguredRunCarriesNoFaultState)
+{
+    // Inertness: without a plan the fault axis of the result is
+    // all-zero and the run itself matches the pinned golden numbers
+    // (the same constants tests/integration/test_golden.cc pins, so
+    // the fault layer provably did not perturb the machine).
+    const RunResult r = runSpec("em3d", SpecMode::SwiFirstRead, tiny());
+    EXPECT_EQ(r.status, RunStatus::Completed);
+    EXPECT_EQ(r.execTicks, 119987u);
+    EXPECT_EQ(r.messages, 1984u);
+    EXPECT_FALSE(r.fault.faulted);
+    EXPECT_EQ(r.fault.killTick, 0u);
+    EXPECT_EQ(r.fault.retries, 0u);
+    EXPECT_EQ(r.fault.nacksSeen, 0u);
+    EXPECT_EQ(r.fault.timeouts, 0u);
+    EXPECT_EQ(r.fault.staleFills, 0u);
+    EXPECT_EQ(r.fault.dirAborts, 0u);
+    EXPECT_EQ(r.fault.opsAtEnd, 0u);
+}
+
+TEST(Fault, KillAndRecoveryBookkeeping)
+{
+    const RunResult r =
+        runSpec("em3d", SpecMode::SwiFirstRead, faulted());
+    EXPECT_EQ(r.status, RunStatus::Completed);
+    EXPECT_TRUE(r.fault.faulted);
+    EXPECT_EQ(r.fault.killTick, 40000u);
+    EXPECT_EQ(r.fault.restartTick, 70000u);
+    // The victim took its first post-restart step no earlier than the
+    // restart, and the machine kept executing afterwards.
+    EXPECT_GE(r.fault.recoveredTick, r.fault.restartTick);
+    EXPECT_GE(r.fault.opsAtRestart, r.fault.opsAtKill);
+    EXPECT_GT(r.fault.opsAtEnd, r.fault.opsAtRestart);
+    // The outage costs time against the fault-free golden run.
+    EXPECT_GT(r.execTicks, 119987u);
+    // em3d shares every block across the machine: survivors always
+    // hold lines homed at the victim, so the backup's reconstruction
+    // sweep always has contributors.
+    EXPECT_GT(r.fault.rehomeSyncs, 0u);
+}
+
+TEST(Fault, FaultedRunsAreDeterministic)
+{
+    const RunResult a =
+        runSpec("em3d", SpecMode::SwiFirstRead, faulted());
+    const RunResult b =
+        runSpec("em3d", SpecMode::SwiFirstRead, faulted());
+    expectIdentical(a, b);
+}
+
+TEST(Fault, FaultSweepIsJobCountInvariant)
+{
+    // The same four faulted configurations, serial vs eight workers:
+    // records come back in submission order with identical numbers.
+    auto build = [](unsigned jobs) {
+        SweepOptions so;
+        so.jobs = jobs;
+        SweepRunner sweep(so);
+        for (const bool warm : {false, true}) {
+            ExperimentConfig ec = faulted();
+            ec.warmRestart = warm;
+            ec.ckptInterval = warm ? 10000 : 0;
+            sweep.addSpec("em3d", SpecMode::None, ec);
+            sweep.addSpec("em3d", SpecMode::SwiFirstRead, ec);
+        }
+        return sweep.results();
+    };
+    const std::vector<SweepRecord> serial = build(1);
+    const std::vector<SweepRecord> parallel = build(8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].label, parallel[i].label);
+        expectIdentical(serial[i].result, parallel[i].result);
+    }
+}
+
+TEST(Fault, WarmRestartReplicatesCheckpoints)
+{
+    ExperimentConfig ec = faulted();
+    ec.warmRestart = true;
+    ec.ckptInterval = 10000;
+    const RunResult warm =
+        runSpec("em3d", SpecMode::SwiFirstRead, ec);
+    EXPECT_EQ(warm.status, RunStatus::Completed);
+    // Checkpoints fire at 10k/20k/30k while the kill is pending (the
+    // 40k snapshot loses the same-tick FIFO race to the kill event,
+    // which was scheduled at construction); each ships at least one
+    // CkptData message to the backup.
+    EXPECT_GE(warm.fault.ckptSnapshots, 3u);
+    EXPECT_GE(warm.fault.ckptMessages, warm.fault.ckptSnapshots);
+
+    const RunResult cold =
+        runSpec("em3d", SpecMode::SwiFirstRead, faulted());
+    EXPECT_EQ(cold.fault.ckptSnapshots, 0u);
+    EXPECT_EQ(cold.fault.ckptMessages, 0u);
+}
+
+TEST(Fault, BaseDsmSurvivesTheFaultToo)
+{
+    // The fault layer is independent of speculation: a Base-DSM run
+    // (no predictor at all) takes the same kill/restart plan.
+    const RunResult r = runSpec("em3d", SpecMode::None, faulted());
+    EXPECT_EQ(r.status, RunStatus::Completed);
+    EXPECT_TRUE(r.fault.faulted);
+    EXPECT_EQ(r.fault.killTick, 40000u);
+    EXPECT_GT(r.fault.opsAtEnd, r.fault.opsAtRestart);
+    EXPECT_EQ(r.fault.ckptSnapshots, 0u);
+}
+
+using FaultDeathTest = ::testing::Test;
+
+TEST(FaultDeathTest, RetryExhaustionIsFatal)
+{
+    // backup == victim leaves the re-homed shard just as dead as the
+    // node: every retry bounces until the cache controller's bounded
+    // FSM gives up with a structured fatal (exit code 1).
+    ExperimentConfig ec = tiny();
+    ec.failNode = 3;
+    ec.failTick = 5000; // mid-flight: survivors still miss on node 3
+    ec.backupNode = 3;  // deliberately pathological: no live home
+    EXPECT_EXIT(runSpec("em3d", SpecMode::None, ec),
+                ::testing::ExitedWithCode(1), "exhausted");
+}

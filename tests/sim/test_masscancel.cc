@@ -1,0 +1,234 @@
+/** @file Mass-cancellation stress tests for the event queue: the
+ * fault layer's failover sweep deschedules whole pools of events at
+ * once (EventPool::forEach + deschedule), and every queue query --
+ * nextTick(), pending(), canFuseBefore() -- must stay *exact*
+ * afterwards, across all three queue levels and regardless of what
+ * the min-tick memo held before the sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/eventq.hh"
+
+using namespace mspdsm;
+
+namespace
+{
+
+constexpr Tick giga = 4096;
+
+struct Probe final : public Event
+{
+    void process() override { ++fired; }
+
+    int fired = 0;
+};
+
+} // namespace
+
+TEST(MassCancel, NextTickExactAfterCancellingTheMinimum)
+{
+    // The memoized minimum is the cancelled event: nextTick() must
+    // recompute, not serve the stale hint.
+    EventQueue eq;
+    Probe a, b, c;
+    eq.schedule(10, a);
+    eq.schedule(500, b);
+    eq.schedule(900, c);
+    EXPECT_EQ(eq.nextTick(), 10u); // memoize the minimum
+    EXPECT_TRUE(eq.deschedule(a));
+    EXPECT_EQ(eq.nextTick(), 500u);
+    EXPECT_TRUE(eq.deschedule(b));
+    EXPECT_EQ(eq.nextTick(), 900u);
+    EXPECT_TRUE(eq.deschedule(c));
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.nextTick(), maxTick);
+}
+
+TEST(MassCancel, NextTickExactAcrossLevels)
+{
+    // Cancel the minimum at each level in turn; the next minimum may
+    // live one level further out every time.
+    EventQueue eq;
+    Probe near, farw, heap;
+    eq.schedule(42, near);             // near wheel
+    eq.schedule(80 * giga + 7, farw);  // far wheel
+    eq.schedule(5000 * giga, heap);    // overflow heap
+    EXPECT_EQ(eq.nextTick(), 42u);
+    EXPECT_TRUE(eq.deschedule(near));
+    EXPECT_EQ(eq.nextTick(), 80u * giga + 7u);
+    EXPECT_TRUE(eq.deschedule(farw));
+    EXPECT_EQ(eq.nextTick(), 5000u * giga);
+    EXPECT_TRUE(eq.deschedule(heap));
+    EXPECT_EQ(eq.nextTick(), maxTick);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(MassCancel, BulkCancelKeepsSurvivorsAndOrder)
+{
+    // Kill every third event of a dense schedule spanning near wheel,
+    // far wheel, and heap; the survivors fire exactly once, in time
+    // order, and the executed count is exact.
+    constexpr int n = 3000;
+    EventQueue eq;
+    std::vector<Probe> probes(n);
+    for (int i = 0; i < n; ++i)
+        eq.schedule(Tick(i) * 1500, probes[i]); // spans ~1100 gigaticks
+    for (int i = 0; i < n; i += 3)
+        EXPECT_TRUE(eq.deschedule(probes[i]));
+    EXPECT_EQ(eq.pending(), std::size_t(n - n / 3));
+
+    EXPECT_TRUE(eq.run());
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(probes[i].fired, i % 3 == 0 ? 0 : 1) << "probe " << i;
+    EXPECT_EQ(eq.executed(), std::size_t(n - n / 3));
+}
+
+TEST(MassCancel, PoolSweepFromInsideProcess)
+{
+    // The Directory::failover pattern, mid-run: an event's process()
+    // walks an EventPool, descheduling and releasing everything still
+    // pending -- including events in the *current* tick's bucket that
+    // were scheduled behind the sweeper.
+    EventQueue eq;
+    EventPool<Probe> pool;
+
+    struct Sweeper final : public Event
+    {
+        void
+        process() override
+        {
+            pool->forEach([this](Probe &p) {
+                if (p.scheduled()) {
+                    eq->deschedule(p);
+                    pool->release(p);
+                }
+            });
+        }
+        EventQueue *eq;
+        EventPool<Probe> *pool;
+    } sweeper;
+    sweeper.eq = &eq;
+    sweeper.pool = &pool;
+    eq.schedule(100, sweeper); // scheduled first: same-tick probes
+                               // land behind it in the bucket
+
+    std::vector<Probe *> carved;
+    for (int i = 0; i < 64; ++i) {
+        Probe &p = pool.acquire();
+        carved.push_back(&p);
+        // Same tick as the sweeper (still in the current bucket when
+        // the sweep runs), near wheel, far wheel, overflow heap.
+        const Tick when = i % 4 == 0   ? 100
+                          : i % 4 == 1 ? 3000
+                          : i % 4 == 2 ? 90 * giga
+                                       : 2000 * giga;
+        eq.schedule(when, p);
+    }
+
+    EXPECT_TRUE(eq.run());
+    for (Probe *p : carved)
+        EXPECT_EQ(p->fired, 0);
+    EXPECT_EQ(eq.executed(), 1u); // only the sweeper
+    EXPECT_EQ(eq.curTick(), 100u);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(MassCancel, NextTickExactAfterSweepInsideProcess)
+{
+    // After an in-process() mass cancel, the queue's own main loop
+    // relies on the next-tick scan to find the surviving event.
+    EventQueue eq;
+    Probe victims[8];
+    Probe survivor;
+    for (auto &v : victims)
+        eq.schedule(200 + (&v - victims) * 700, v);
+    eq.schedule(400 * giga + 13, survivor);
+
+    struct Sweeper final : public Event
+    {
+        void
+        process() override
+        {
+            for (int i = 0; i < 8; ++i)
+                eq->deschedule(victims[i]);
+            EXPECT_EQ(eq->nextTick(), 400u * giga + 13u);
+        }
+        EventQueue *eq;
+        Probe *victims;
+    } sweeper;
+    sweeper.eq = &eq;
+    sweeper.victims = victims;
+    eq.schedule(50, sweeper);
+
+    EXPECT_TRUE(eq.run());
+    for (auto &v : victims)
+        EXPECT_EQ(v.fired, 0);
+    EXPECT_EQ(survivor.fired, 1);
+    EXPECT_EQ(eq.curTick(), 400u * giga + 13u);
+}
+
+TEST(MassCancel, CanFuseBeforeStaysExactAfterCancel)
+{
+    // canFuseBefore must never say "yes" with an event still pending
+    // at or before the probe tick, and must recover the "yes" answer
+    // once that event is cancelled (after a nextTick() revalidation:
+    // the guard itself is allowed to decline while cold).
+    EventQueue eq;
+    Probe a, b;
+    eq.schedule(100, a);
+    eq.schedule(5000, b);
+    EXPECT_EQ(eq.nextTick(), 100u);
+    EXPECT_FALSE(eq.canFuseBefore(100));
+    EXPECT_FALSE(eq.canFuseBefore(2000));
+    EXPECT_TRUE(eq.canFuseBefore(99));
+
+    EXPECT_TRUE(eq.deschedule(a));
+    EXPECT_EQ(eq.nextTick(), 5000u); // revalidate the memo
+    EXPECT_TRUE(eq.canFuseBefore(2000));
+    EXPECT_FALSE(eq.canFuseBefore(5000));
+}
+
+TEST(MassCancel, FaultHorizonCapsFusionRegardlessOfQueueState)
+{
+    // The fault layer's hard guarantee: no fused work at or past the
+    // next scheduled fault tick, even on an otherwise empty queue
+    // whose memo would happily say yes.
+    EventQueue eq;
+    EXPECT_EQ(eq.faultHorizon(), maxTick);
+    eq.setFaultHorizon(1000);
+    EXPECT_FALSE(eq.canFuseBefore(1000));
+    EXPECT_FALSE(eq.canFuseBefore(maxTick));
+    Probe a;
+    eq.schedule(600, a);
+    EXPECT_EQ(eq.nextTick(), 600u);
+    EXPECT_TRUE(eq.canFuseBefore(599)); // below both horizon and min
+    EXPECT_FALSE(eq.canFuseBefore(600));
+    eq.setFaultHorizon(maxTick);
+    EXPECT_TRUE(eq.deschedule(a));
+    EXPECT_EQ(eq.nextTick(), maxTick);
+    EXPECT_TRUE(eq.canFuseBefore(1000)); // horizon lifted
+}
+
+TEST(MassCancel, CancelAllThenRescheduleReusesTheQueue)
+{
+    // A restart after failover: the same queue keeps running with
+    // fresh schedules, and per-tick FIFO order starts clean.
+    EventQueue eq;
+    std::vector<Probe> gen1(50), gen2(50);
+    for (int i = 0; i < 50; ++i)
+        eq.schedule(Tick(10 + i * 37), gen1[i]);
+    for (auto &p : gen1)
+        EXPECT_TRUE(eq.deschedule(p));
+    EXPECT_EQ(eq.pending(), 0u);
+    for (int i = 0; i < 50; ++i)
+        eq.schedule(Tick(10 + i * 37), gen2[i]);
+    EXPECT_TRUE(eq.run());
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(gen1[i].fired, 0);
+        EXPECT_EQ(gen2[i].fired, 1);
+    }
+    EXPECT_EQ(eq.executed(), 50u);
+}
