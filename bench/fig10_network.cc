@@ -107,7 +107,7 @@ main(int argc, char **argv)
                 "network's Base-DSM)\n\n");
 
     Table t({"topology", "procs", "link", "base ticks", "SWI ticks",
-             "time %", "req wait %", "link queue"});
+             "time %", "req wait %", "link queue", "ev/msg"});
     for (const Cell &c : cells) {
         const RunResult &base = sweep.result(c.base);
         const RunResult &swi = sweep.result(c.swi);
@@ -127,7 +127,12 @@ main(int argc, char **argv)
                   // Link-level contention of the SWI run: the cycles
                   // messages spent queued behind busy links (always 0
                   // on the crossbar, whose contention is NI-only).
-                  Table::fmt(swi.linkQueueingCycles)});
+                  Table::fmt(swi.linkQueueingCycles),
+                  // Event dispatches per message on the SWI run: how
+                  // close the batched NI drain holds the transport to
+                  // its one-event-per-delivery floor as the fabric
+                  // slows and contention grows.
+                  Table::fmt(swi.eventsPerMessage(), 2)});
     }
     t.print(std::cout);
     return bench::finishSweep(sweep, args, "fig10_network");

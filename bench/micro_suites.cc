@@ -177,6 +177,42 @@ netRoute()
     return delivered;
 }
 
+/**
+ * Dense same-destination cross-traffic: fifteen sources hammer one
+ * hot ingress NI on the default crossbar, so the whole run is one
+ * long busy period at that node. This was the worst case for the
+ * retired two-stage path (every message paid an arrival event plus a
+ * delivery event, and the fusion guard never opened under the
+ * backlog); the per-destination drain batches all the arrival
+ * bookkeeping into the delivery dispatches it queued behind. Items
+ * are messages delivered.
+ */
+[[gnu::flatten]] std::uint64_t
+netIngressBatch()
+{
+    constexpr int n = 20000;
+    ProtoConfig cfg;
+    EventQueue eq;
+    Network net(eq, cfg, Rng(23));
+    std::uint64_t delivered = 0;
+    const auto count = +[](void *ctx, const CohMsg &) {
+        ++*static_cast<std::uint64_t *>(ctx);
+    };
+    for (NodeId i = 0; i < cfg.numNodes; ++i)
+        net.attach(i, count, &delivered);
+    for (int i = 0; i < n; ++i) {
+        CohMsg m;
+        // A 3:1 control/data mix, like the protocol's; every message
+        // targets node 0, whose ingress NI serializes everything.
+        m.type = (i & 3) ? MsgType::GetS : MsgType::DataShared;
+        m.src = static_cast<NodeId>(1 + i % 15);
+        m.dst = 0;
+        net.send(m);
+    }
+    eq.run();
+    return delivered;
+}
+
 /** Front-end throughput: source TraceOps compiled per second. */
 std::uint64_t
 workloadCompile()
@@ -289,8 +325,22 @@ runSimSuite(const BenchOptions &opts)
         runBench("sim/messages_compiled", opts, simMessagesCompiled));
     rs.push_back(runBench("sim/messages_spec", opts, simMessagesSpec));
     rs.push_back(runBench("net/route", opts, netRoute));
+    rs.push_back(
+        runBench("net/ingress_batch", opts, netIngressBatch));
     rs.push_back(runBench("workload/compile", opts, workloadCompile));
     return rs;
+}
+
+double
+simEventsPerMessage()
+{
+    const Workload &w = benchWorkload();
+    const CompiledWorkload &cw = benchCompiledWorkload();
+    DsmConfig cfg;
+    cfg.proto.netJitter = w.netJitter;
+    DsmSystem sys(cfg);
+    const RunResult r = sys.run(cw);
+    return r.eventsPerMessage();
 }
 
 std::vector<BenchResult>

@@ -13,8 +13,11 @@
  * micro_predictor binaries and by bench_core, which runs everything
  * and writes BENCH_core.json. Headline metrics:
  *
- *   events_per_sec  = "eventq/throughput" items/sec
- *   lookups_per_sec = "pred/observe_mix" items/sec
+ *   events_per_sec         = "eventq/throughput" items/sec
+ *   lookups_per_sec        = "pred/observe_mix" items/sec
+ *   sim_events_per_message = simEventsPerMessage() (a ratio, not a
+ *                            rate: event dispatches per message on
+ *                            the dense em3d run)
  */
 
 #ifndef MSPDSM_BENCH_MICRO_SUITES_HH
@@ -36,6 +39,16 @@ std::vector<BenchResult> runPredictorSuite(const BenchOptions &opts);
 /** Pull a named result's items/sec (0 if absent). */
 double itemsPerSec(const std::vector<BenchResult> &rs,
                    const std::string &name);
+
+/**
+ * Event-kernel dispatches per network message on the dense em3d
+ * workload (one deterministic compiled run). The transport-efficiency
+ * headline BENCH_core.json tracks: the retired two-stage NI path held
+ * this at ~2.5; the batched event layer (per-destination drain,
+ * local-delivery flush, per-home directory due-queues) brought it to
+ * ~1.47, and check_bench_core.py fails any record above 1.6.
+ */
+double simEventsPerMessage();
 
 } // namespace mspdsm::bench
 

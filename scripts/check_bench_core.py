@@ -29,7 +29,7 @@ import sys
 
 SCHEMA = "mspdsm-bench-core-v1"
 REQUIRED_TOP = ["schema", "events_per_sec", "lookups_per_sec",
-                "peak_rss_bytes", "benches"]
+                "sim_events_per_message", "peak_rss_bytes", "benches"]
 REQUIRED_BENCH = ["name", "items", "seconds", "items_per_sec"]
 
 # Benches every record must carry: dropping one silently would blind
@@ -42,6 +42,7 @@ REQUIRED_BENCH_NAMES = [
     "sim/messages_compiled",
     "sim/messages_spec",
     "net/route",
+    "net/ingress_batch",
     "workload/compile",
     "pred/observe_mix",
     "pred/observe_cold",
@@ -76,12 +77,22 @@ def validate(rec, path):
     if rec.get("schema") != SCHEMA:
         errs.append(f"{path}: schema is '{rec.get('schema')}', "
                     f"expected '{SCHEMA}'")
-    for key in ("events_per_sec", "lookups_per_sec", "peak_rss_bytes"):
+    for key in ("events_per_sec", "lookups_per_sec",
+                "sim_events_per_message", "peak_rss_bytes"):
         v = rec.get(key)
         if not isinstance(v, (int, float)) or not math.isfinite(v) \
                 or v < 0:
             errs.append(f"{path}: '{key}' is not a finite "
                         f"non-negative number: {v!r}")
+    # The deterministic transport-efficiency headline: unlike the
+    # throughput benches this ratio is machine-independent, so it is
+    # pinned absolutely. The batched event layer holds the dense em3d
+    # run at ~1.47 dispatches per message; anything above 1.6 means a
+    # per-message event population grew back.
+    evpm = rec.get("sim_events_per_message")
+    if isinstance(evpm, (int, float)) and evpm > 1.6:
+        errs.append(f"{path}: sim_events_per_message {evpm} exceeds "
+                    f"the 1.6 ceiling")
     benches = rec.get("benches")
     if not isinstance(benches, list) or not benches:
         errs.append(f"{path}: 'benches' is not a non-empty list")

@@ -16,12 +16,17 @@
 namespace mspdsm
 {
 
-/** Monotonic event counter. */
+/** Event counter. */
 class Counter
 {
   public:
     /** Increment by @p n (default 1). */
     void inc(std::uint64_t n = 1) { value_ += n; }
+
+    /** Undo @p n previously counted events (speculative bookings
+     * that were rolled back -- e.g. the network's optimistic ingress
+     * reservation). Never exceeds what was counted. */
+    void dec(std::uint64_t n) { value_ -= n; }
 
     /** Current count. */
     std::uint64_t value() const { return value_; }

@@ -100,43 +100,63 @@ Directory::sendAt(Tick when, CohMsg msg)
         net_.sendAt(when, msg);
         return;
     }
-    DirEvent &e = pool_.acquire(this);
-    e.kind = DirEvent::Kind::Send;
-    e.msg = msg;
-    eq_.schedule(when, e);
+    scheduleKind(ActKind::Send, when, msg);
 }
 
 void
-Directory::eventFired(DirEvent &e)
+Directory::flushFired()
 {
-    // Copy out and recycle first: the handlers below schedule new
-    // events and may reuse this slot.
-    const DirEvent::Kind kind = e.kind;
-    const CohMsg msg = e.msg;
-    pool_.release(e);
+    // Pop-and-dispatch every action due on this tick; (due, seq)
+    // order reproduces the schedule order the per-action pooled
+    // events fired in. Handlers may queue new actions mid-loop --
+    // those are due strictly later (every service latency is
+    // positive) and re-arm the flush themselves; the final arm below
+    // keeps the earliest. Copy-then-index: scheduleKind can insert
+    // into (and reallocate) the suffix under us.
+    const Tick now = eq_.curTick();
+    while (dueHead_ < dueQ_.size() && dueQ_[dueHead_].due <= now) {
+        const DueAction a = dueQ_[dueHead_];
+        ++dueHead_;
+        dispatch(a.kind, a.msg, now);
+    }
+    if (dueHead_ == dueQ_.size()) {
+        dueQ_.clear(); // keeps capacity
+        dueHead_ = 0;
+    } else {
+        if (dueHead_ >= 64) {
+            dueQ_.erase(dueQ_.begin(),
+                        dueQ_.begin() +
+                            static_cast<std::ptrdiff_t>(dueHead_));
+            dueHead_ = 0;
+        }
+        armFlush(dueQ_[dueHead_].due);
+    }
+}
 
-    const Tick base = eq_.curTick();
+void
+Directory::dispatch(ActKind kind, const CohMsg &msg, Tick base)
+{
     switch (kind) {
-      case DirEvent::Kind::Send:
+      case ActKind::Send:
         net_.send(msg);
         return;
-      case DirEvent::Kind::ReadReply:
+      case ActKind::ReadReply:
         readReplyFired(msg.blk, msg.dst, base);
         return;
-      case DirEvent::Kind::Grant:
+      case ActKind::Grant:
         grantExcl(entry(msg.blk), msg.blk, base);
         return;
-      case DirEvent::Kind::WbGetS:
+      case ActKind::WbGetS:
         wbGetSFired(msg.blk, base);
         return;
-      case DirEvent::Kind::SwiComplete: {
+      case ActKind::SwiComplete: {
         const BlockId blk = msg.blk;
         completeSwi(entry(blk), blk, base);
         drain(blk, base);
         return;
       }
     }
-    panic("unknown DirEvent kind");
+    panic("unknown directory action kind");
 }
 
 void
@@ -264,9 +284,10 @@ Directory::onGetS(Entry &e, const CohMsg &msg, Tick base)
             readReplyFired(blk, src, fire);
             return;
         }
-        DirEvent &ev = scheduleKind(DirEvent::Kind::ReadReply, fire);
-        ev.msg.blk = blk;
-        ev.msg.dst = src;
+        CohMsg m;
+        m.blk = blk;
+        m.dst = src;
+        scheduleKind(ActKind::ReadReply, fire, m);
         return;
       }
       case DirState::Excl: {
@@ -315,7 +336,7 @@ Directory::onWrite(Entry &e, const CohMsg &msg, bool upgrade_grant,
         if (fuseAt(e, fire))
             grantExcl(e, blk, fire);
         else
-            scheduleKind(DirEvent::Kind::Grant, fire).msg.blk = blk;
+            scheduleKind(ActKind::Grant, fire, blkMsg(blk));
         return;
       }
       case DirState::Shared: {
@@ -335,7 +356,7 @@ Directory::onWrite(Entry &e, const CohMsg &msg, bool upgrade_grant,
             if (fuseAt(e, fire))
                 grantExcl(e, blk, fire);
             else
-                scheduleKind(DirEvent::Kind::Grant, fire).msg.blk = blk;
+                scheduleKind(ActKind::Grant, fire, blkMsg(blk));
             return;
         }
         e.state = DirState::BusyInval;
@@ -391,7 +412,7 @@ Directory::onInvAck(Entry &e, const CohMsg &msg, Tick base)
         if (fuseAt(e, fire))
             grantExcl(e, msg.blk, fire);
         else
-            scheduleKind(DirEvent::Kind::Grant, fire).msg.blk = msg.blk;
+            scheduleKind(ActKind::Grant, fire, blkMsg(msg.blk));
     }
 }
 
@@ -416,7 +437,7 @@ Directory::absorbWriteBack(Entry &e, BlockId blk, Tick base)
             drain(blk, fire);
             return;
         }
-        scheduleKind(DirEvent::Kind::SwiComplete, fire).msg.blk = blk;
+        scheduleKind(ActKind::SwiComplete, fire, blkMsg(blk));
         return;
     }
 
@@ -425,14 +446,14 @@ Directory::absorbWriteBack(Entry &e, BlockId blk, Tick base)
         if (fuseAt(e, fire))
             wbGetSFired(blk, fire);
         else
-            scheduleKind(DirEvent::Kind::WbGetS, fire).msg.blk = blk;
+            scheduleKind(ActKind::WbGetS, fire, blkMsg(blk));
         return;
     }
 
     if (fuseAt(e, fire))
         grantExcl(e, blk, fire);
     else
-        scheduleKind(DirEvent::Kind::Grant, fire).msg.blk = blk;
+        scheduleKind(ActKind::Grant, fire, blkMsg(blk));
 }
 
 void
@@ -764,15 +785,12 @@ Directory::verifyCopy(Entry &e, BlockId blk, const CohMsg &msg)
 void
 Directory::failover()
 {
-    // Cancel every pending directory action. The pool visits all
-    // carved events; only scheduled ones are live (an acquired event
-    // is always scheduled before control returns to the queue).
-    pool_.forEach([this](DirEvent &ev) {
-        if (ev.scheduled()) {
-            eq_.deschedule(ev);
-            pool_.release(ev);
-        }
-    });
+    // Cancel every pending directory action: the due-queue holds
+    // them all, behind the single flush event.
+    if (flush_.scheduled())
+        eq_.deschedule(flush_);
+    dueQ_.clear();
+    dueHead_ = 0;
     entries_.clear();
     memoEntry_ = nullptr;
     coldArena_ = ChunkedVector<ColdEntry>{};
@@ -834,9 +852,7 @@ Directory::pruneDead(NodeId v, Tick base)
                 c->ackWait.remove(v);
                 if (--e.pendingAcks == 0) {
                     e.state = DirState::BusyService;
-                    scheduleKind(DirEvent::Kind::Grant,
-                                 base + cfg_.dirLookup)
-                        .msg.blk = blk;
+                    scheduleKind(ActKind::Grant, base + cfg_.dirLookup, blkMsg(blk));
                 }
             }
             break;

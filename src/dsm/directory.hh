@@ -26,7 +26,9 @@
 #ifndef MSPDSM_DSM_DIRECTORY_HH
 #define MSPDSM_DSM_DIRECTORY_HH
 
+#include <algorithm>
 #include <deque>
+#include <vector>
 
 #include "base/bitvector.hh"
 #include "base/chunked_vector.hh"
@@ -242,44 +244,99 @@ class Directory
                   "state to ColdEntry rather than re-bloating it");
 
 
-    /**
-     * One pending directory action, pooled and reused so the protocol
-     * FSM schedules without allocating. The embedded CohMsg carries
-     * either the full message (Send) or just the block/requester
-     * fields the other kinds need.
-     */
-    struct DirEvent final : public Event
+    /** A deferred directory action's discriminator. */
+    enum class ActKind : std::uint8_t
     {
-        enum class Kind : std::uint8_t
-        {
-            Send,        //!< hand msg to the network
-            ReadReply,   //!< GetS service done: reply to msg.dst
-            Grant,       //!< write transaction done: grant exclusive
-            WbGetS,      //!< writeback absorbed for a pending GetS
-            SwiComplete, //!< SWI writeback absorbed
-        };
+        Send,        //!< hand msg to the network
+        ReadReply,   //!< GetS service done: reply to msg.dst
+        Grant,       //!< write transaction done: grant exclusive
+        WbGetS,      //!< writeback absorbed for a pending GetS
+        SwiComplete, //!< SWI writeback absorbed
+    };
 
-        explicit DirEvent(Directory *d) : dir(d) {}
-
-        void process() override { dir->eventFired(*this); }
-
-        Directory *dir;
-        Kind kind = Kind::Send;
+    /**
+     * One deferred FSM action in this home's due-queue. The embedded
+     * CohMsg carries either the full message (Send) or just the
+     * block/requester fields the other kinds need. `seq` breaks
+     * same-tick ties in schedule order, which is exactly the
+     * event-queue FIFO the per-action pooled events gave.
+     */
+    struct DueAction
+    {
+        Tick due;
+        std::uint64_t seq;
+        ActKind kind;
         CohMsg msg;
     };
 
-    /** Dispatch a fired DirEvent and recycle it. */
-    void eventFired(DirEvent &e);
-
-    /** Schedule a pooled event of @p kind at absolute tick @p when. */
-    DirEvent &
-    scheduleKind(DirEvent::Kind kind, Tick when)
+    /**
+     * The home's single flush event: fires at the earliest pending
+     * due tick and dispatches *every* action due at that tick in one
+     * dispatch -- a transaction's service completion, grant, and
+     * writeback absorption that land on the same tick no longer cost
+     * one event each. The ingress-drain trick, applied to the FSM.
+     */
+    struct FlushEvent final : public Event
     {
-        DirEvent &e = pool_.acquire(this);
-        e.kind = kind;
-        e.msg = CohMsg{};
-        eq_.schedule(when, e);
-        return e;
+        explicit FlushEvent(Directory *d) : dir(d) {}
+
+        void process() override { dir->flushFired(); }
+
+        Directory *dir;
+    };
+
+    /** Dispatch every due action; re-arm at the next due tick. */
+    void flushFired();
+
+    /** Run one popped action with the clock at its due tick. */
+    void dispatch(ActKind kind, const CohMsg &msg, Tick base);
+
+    /**
+     * Arm the flush event for @p t, keeping an already-armed earlier
+     * tick (the flush re-arms itself exactly when it fires early).
+     */
+    void
+    armFlush(Tick t)
+    {
+        if (flush_.scheduled()) {
+            if (flush_.when() <= t)
+                return;
+            eq_.deschedule(flush_);
+        }
+        eq_.schedule(t, flush_);
+    }
+
+    /** Queue a deferred action of @p kind at absolute tick @p when.
+     * The queue is a sorted vector (see dueQ_): the common push
+     * appends, and mixed service latencies that land out of order
+     * insert by a short scan from the back. Seq ties are impossible
+     * (dueSeq_ is unique and increasing) and equal dues sort the
+     * newcomer last, so scanning on strict due keeps FIFO order. */
+    void
+    scheduleKind(ActKind kind, Tick when, const CohMsg &msg)
+    {
+        const DueAction a{when, dueSeq_++, kind, msg};
+        if (dueQ_.size() > dueHead_ && when < dueQ_.back().due)
+            [[unlikely]] {
+            auto it = dueQ_.end();
+            const auto first = dueQ_.begin() +
+                               static_cast<std::ptrdiff_t>(dueHead_);
+            while (it != first && when < (it - 1)->due)
+                --it;
+            dueQ_.insert(it, a);
+        } else {
+            dueQ_.push_back(a);
+        }
+        armFlush(when);
+    }
+
+    /** A CohMsg carrying only the block id (due-queue payloads). */
+    static CohMsg
+    blkMsg(BlockId blk)
+    {
+        CohMsg m;
+        m.blk = blk;
+        return m;
     }
 
     /**
@@ -297,7 +354,9 @@ class Directory
     bool
     canRunAt(Tick when)
     {
-        return eq_.canFuseBefore(when);
+        // Exact guard: a false decline costs a due-queue round trip
+        // and a flush dispatch, which dwarf one bitmap scan.
+        return eq_.canFuseBeforeExact(when);
     }
 
     /**
@@ -478,7 +537,15 @@ class Directory
     Vmsp *vmsp_;
     SpecMode mode_;
     SwiTable swiTable_;
-    EventPool<DirEvent> pool_;
+    /** Deferred actions sorted ascending by (due, seq) from
+     * dueHead_ on; [0, dueHead_) is the dispatched prefix, reclaimed
+     * when the queue drains empty (keeping capacity) or compacted
+     * once it outgrows a small bound -- the same consumed-prefix
+     * discipline as the network's local queue. */
+    std::vector<DueAction> dueQ_;
+    std::size_t dueHead_ = 0;  //!< first pending dueQ_ entry
+    std::uint64_t dueSeq_ = 0; //!< same-tick FIFO sequencer
+    FlushEvent flush_{this};
     FlatMap<BlockId, Entry> entries_;
     BlockId memoBlk_ = 0;
     Entry *memoEntry_ = nullptr;

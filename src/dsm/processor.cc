@@ -64,8 +64,11 @@ Processor::step(Tick now)
         faults_->noteProgress(id_, now);
     }
     Tick vt = now;
+    // Exact guard: a false decline here does not just take a slower
+    // path, it ends the whole fused run and costs a step-event round
+    // trip, so the scan is always worth it.
     const auto advanceOk = [&](Tick to) {
-        return eq_.canFuseBefore(to);
+        return eq_.canFuseBeforeExact(to);
     };
 
     for (;;) {

@@ -166,6 +166,9 @@ DsmSystem::run(const CompiledWorkload &w)
     r.execTicks = eq_.endTick();
     r.barrierEpisodes = barrier_->episodes();
     r.messages = net_->messagesSent();
+    // Both counters are queue/network lifetime totals, so the ratio
+    // stays consistent across fault restarts and resumed runs.
+    r.eventsDispatched = eq_.executed();
     r.queueingCycles = net_->queueingCycles();
     r.linkQueueingCycles = net_->linkQueueingCycles();
 

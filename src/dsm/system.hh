@@ -128,7 +128,20 @@ struct RunResult
     std::uint64_t swiSuppressed = 0;
 
     std::uint64_t messages = 0; //!< total network messages
+    //! Event-kernel dispatches over the run: the transport-efficiency
+    //! denominator the batched NI drain attacks (dense runs used to
+    //! pay ~2.4 events per message; see docs/ARCHITECTURE.md).
+    std::uint64_t eventsDispatched = 0;
     std::uint64_t barrierEpisodes = 0;
+
+    /** Events dispatched per network message (0 with no traffic). */
+    double
+    eventsPerMessage() const
+    {
+        return messages ? static_cast<double>(eventsDispatched) /
+                              static_cast<double>(messages)
+                        : 0.0;
+    }
 
     // Interconnect contention (NI serialization and per-link queueing).
     std::uint64_t queueingCycles = 0;

@@ -232,6 +232,10 @@ SweepRunner::writeJson(std::ostream &os, const std::string &tool)
            << (res.completed() ? "false" : "true")
            << ", \"exec_ticks\": " << res.execTicks
            << ", \"messages\": " << res.messages
+           // Transport efficiency; additive mspdsm-sweep-v1 fields
+           // (the event floor the batched NI drain attacks).
+           << ", \"events_dispatched\": " << res.eventsDispatched
+           << ", \"events_per_message\": " << res.eventsPerMessage()
            << ", \"reads\": " << res.reads
            << ", \"writes\": " << res.writes
            // Interconnect contention; additive mspdsm-sweep-v1 fields

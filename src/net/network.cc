@@ -18,8 +18,14 @@ Network::Network(EventQueue &eq, const ProtoConfig &cfg, Rng rng)
       egressFree_(cfg.numNodes, 0),
       ingressFree_(cfg.numNodes, 0),
       linkFree_(topo_.numLinks(), 0),
-      pairLast_(std::size_t{cfg.numNodes} * cfg.numNodes, 0)
+      pairLast_(std::size_t{cfg.numNodes} * cfg.numNodes, 0),
+      ingress_(cfg.numNodes)
 {
+    for (NodeId n = 0; n < cfg.numNodes; ++n) {
+        ingress_[n].drain.net = this;
+        ingress_[n].drain.node = n;
+    }
+    localFlush_.net = this;
 }
 
 void
@@ -35,6 +41,16 @@ Network::attach(NodeId n, RawDeliver fn, void *ctx)
     panic_if(n >= sinks_.size(), "attach: node ", n, " out of range");
     panic_if(!fn, "attach: null delivery hook for node ", n);
     sinks_[n] = Sink{nullptr, nullptr, fn, ctx};
+}
+
+void
+Network::ReadyRing::grow()
+{
+    std::vector<ReadyMsg> bigger(buf_.empty() ? 8 : buf_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i)
+        bigger[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+    buf_.swap(bigger);
+    head_ = 0;
 }
 
 void
@@ -106,12 +122,27 @@ Network::sendAt(Tick base, CohMsg msg)
         // call (a directory grant sends its reply before its SWI
         // bookkeeping sends a recall), and an inline delivery here
         // could run a whole downstream chain ahead of it. Deliveries
-        // only fuse where the caller stack is empty -- the event
-        // handler in fired().
-        NetEvent &e = pool_.acquire(this);
-        e.msg = msg;
-        e.arrived = true; // straight to delivery
-        eq_.schedule(now + 1, e);
+        // only fuse where the caller stack is empty -- the drain
+        // dispatch.
+        const LocalPending p{now + 1, pushSeq_++, msg};
+        if (localQ_.size() > localHead_ && p.due < localQ_.back().due)
+            [[unlikely]] {
+            // Out-of-order push: an on-the-clock sender slipped under
+            // locals queued by a fused sender running ahead of it.
+            // Insert in (due, seq) order -- seq ties are impossible
+            // (pushSeq_ is unique and increasing), and equal dues
+            // sort the newcomer after, so scanning on strict due
+            // keeps the order stable.
+            auto it = localQ_.end();
+            const auto first = localQ_.begin() +
+                               static_cast<std::ptrdiff_t>(localHead_);
+            while (it != first && p.due < (it - 1)->due)
+                --it;
+            localQ_.insert(it, p);
+        } else {
+            localQ_.push_back(p);
+        }
+        armLocal(now + 1);
         return;
     }
 
@@ -163,60 +194,234 @@ Network::sendAt(Tick base, CohMsg msg)
         arrival = pairLast_[pair] + 1;
     pairLast_[pair] = arrival;
 
-    // Ingress NI at the destination: reserve at *arrival* time so
-    // that messages contend in arrival order. Reserving at send time
-    // would force delivery in injection order and suppress exactly
-    // the message re-ordering the predictors are sensitive to.
-    //
-    // Fused fast path: when nothing can fire at or before the
-    // arrival, no other message can arrive (and hence reserve the
-    // ingress NI) first, so the arrival-ordered reservation may
-    // happen right now and the message rides a single delivery
-    // event instead of an arrival stage plus a delivery stage. The
-    // delivery itself stays an event (never inline from a send; see
-    // the local-traffic comment above).
-    if (fusible(msg.dst) && eq_.canFuseBefore(arrival)) {
-        const Tick delivered = reserveIngress(msg.dst, arrival, occ);
-        NetEvent &e = pool_.acquire(this);
-        e.msg = msg;
-        e.arrived = true;
-        eq_.schedule(delivered, e);
-        return;
-    }
-    NetEvent &e = pool_.acquire(this);
-    e.msg = msg;
-    e.occ = occ;
-    e.arrived = false;
-    eq_.schedule(arrival, e);
+    // Hand the message to the destination's ingress FIFO. Its drain
+    // event books the ingress NI in (arrival, push seq) order -- the
+    // exact firing order of the retired per-message arrival events --
+    // and delivers; no per-message event is scheduled at all.
+    pushIngress(msg.dst, arrival, msg);
 }
 
 void
-Network::fired(NetEvent &e)
+Network::pushIngress(NodeId dst, Tick arrival, const CohMsg &msg)
 {
-    if (!e.arrived) {
-        // Arrival at the destination's ingress NI: contend for it,
-        // then ride the same event to the delivery tick.
-        e.arrived = true;
-        const Tick delivered =
-            reserveIngress(e.msg.dst, eq_.curTick(), e.occ);
-        if (fusible(e.msg.dst) && eq_.canFuseBefore(delivered)) {
-            // Fused: the NI occupancy window is event-free, so the
-            // delivery runs inline instead of re-riding the event.
-            const CohMsg msg = e.msg;
-            pool_.release(e);
-            FuseScope scope(this);
-            eq_.noteFused(delivered);
-            deliver(msg, delivered);
-            return;
-        }
-        eq_.schedule(delivered, e);
-        return;
+    NodeIngress &in = ingress_[dst];
+
+    if (in.slotValid && arrival < in.slotArrival) [[unlikely]] {
+        // Undercut: the optimistic reservation below went to the
+        // wrong message. Unwind it -- restore the NI horizon and the
+        // queueing cycles it booked, and put its message back among
+        // the unreserved arrivals under its original (arrival, seq)
+        // key -- then let the canonical path below re-order both
+        // messages. The slot is always the ready tail while valid
+        // (reserveHead retires it before stacking anything on top),
+        // so dropping the tail removes exactly the speculative entry.
+        ingressFree_[dst] = in.slotPrevFree;
+        queued_.dec(in.slotQueued);
+        in.pq.push_back(
+            Pending{in.slotArrival, in.slotSeq, in.ready.back().msg});
+        std::push_heap(in.pq.begin(), in.pq.end(), PendingLater{});
+        in.ready.popBack();
+        in.slotValid = false;
     }
-    // Delivery. Copy the message and release the event first: the
-    // handler may send again and reuse this very slot.
-    const CohMsg msg = e.msg;
-    pool_.release(e);
-    deliver(msg, eq_.curTick());
+
+    if (in.pq.empty() && !in.slotValid) {
+        // Optimistic single-slot reservation -- the dense-run common
+        // case (the overwhelming share of arrivals find their
+        // destination otherwise quiet). Reserve immediately, with no
+        // heap round trip and no event-horizon guard: the
+        // reservation arithmetic depends only on per-destination
+        // order, so it is exact unless a later send undercuts this
+        // arrival -- and the rollback above restores state
+        // bit-for-bit, so being wrong costs an unwind instead of
+        // every fast push costing a proof. Raw-sink destinations get
+        // the same treatment: the final reservation order is strict
+        // (arrival, seq) either way, so the cross-source jitter
+        // races tests drive through raw hooks are preserved.
+        const Tick occ = carriesData(msg.type) ? cfg_.niData
+                                               : cfg_.niControl;
+        in.slotValid = true;
+        in.slotArrival = arrival;
+        in.slotPrevFree = ingressFree_[dst];
+        in.slotQueued =
+            std::max(arrival, in.slotPrevFree) - arrival;
+        in.slotSeq = pushSeq_++;
+        in.ready.push(reserveIngress(dst, arrival, occ), msg);
+    } else {
+        in.pq.push_back(Pending{arrival, pushSeq_++, msg});
+        std::push_heap(in.pq.begin(), in.pq.end(), PendingLater{});
+        // Send-time early reservation -- the retired fused-send
+        // elision: when the guard proves nothing can fire at or
+        // before the head's arrival, no later send can undercut it,
+        // so its reservation can run right now and the drain wakes
+        // at the *delivery* tick directly. Not while a live slot
+        // sits at the ready tail, though: reserveHead would stack a
+        // canonical reservation on top of a speculative one and
+        // break the rollback; the drain's catch-up sweep retires the
+        // slot the moment its arrival passes.
+        if (!in.slotValid)
+            while (!in.pq.empty() && fusible(dst)
+                   && eq_.canFuseBefore(in.pq.front().arrival))
+                reserveHead(dst, in);
+    }
+
+    // Keep the node's next *delivery* visible: the head reserved
+    // delivery when one is in flight, else the pending head's
+    // projected delivery tick. Unreserved arrivals need no wake of
+    // their own -- reservation is deferred arithmetic that the
+    // delivery dispatch batches, and if a later send undercuts the
+    // head this very function re-publishes the earlier tick. Inside
+    // this destination's own drain loop the bound goes to the fusion
+    // floor (the loop re-arms the drain itself on exit); otherwise
+    // the drain is armed, where the max() only matters after an
+    // external deschedule (the fault-suite scenario): this push
+    // heals it.
+    const Tick next = !in.ready.empty() ? in.ready.front().delivered
+                                        : projectedDelivery(dst, in);
+    if (dst == draining_) {
+        if (next < eq_.fuseFloor())
+            eq_.setFuseFloor(next);
+    } else {
+        armDrain(in, std::max(next, eq_.curTick()));
+    }
+}
+
+void
+Network::reserveHead(NodeId n, NodeIngress &in)
+{
+    // A canonical reservation stacking on top retires the optimistic
+    // slot. Every caller reaching here with a live slot has the
+    // pending head's arrival in the past (the drain's catch-up
+    // sweep), and pq arrivals never undercut a live slot (such a
+    // push unwinds it first), so the slot's own arrival is in the
+    // past too -- beyond any future send's reach.
+    in.slotValid = false;
+    const Pending &p = in.pq.front();
+    const Tick occ = carriesData(p.msg.type) ? cfg_.niData
+                                             : cfg_.niControl;
+    in.ready.push(reserveIngress(n, p.arrival, occ), p.msg);
+    std::pop_heap(in.pq.begin(), in.pq.end(), PendingLater{});
+    in.pq.pop_back();
+}
+
+void
+Network::drainFired(NodeId n)
+{
+    NodeIngress &in = ingress_[n];
+    const Tick curT = eq_.curTick();
+    Tick now = curT;
+    // The drain event is off the queue for the whole loop (it just
+    // fired, and pushIngress routes this node's bound to the fusion
+    // floor while draining_ names it). Re-arming it around every
+    // delivery cost a schedule/deschedule pair per message and
+    // invalidated the queue's min-memo each time -- the floor gives
+    // the guards the identical bound for one store.
+    draining_ = n;
+    for (;;) {
+        // Batched ingress reservation: book the NI for every arrival
+        // whose time has come, in (arrival, push seq) order. During a
+        // backlog this folds what used to be one arrival event per
+        // message into the delivery dispatch they queued behind.
+        while (!in.pq.empty() && in.pq.front().arrival <= now)
+            reserveHead(n, in);
+
+        if (in.ready.empty()) {
+            if (in.pq.empty())
+                break; // idle: the next push re-arms the drain
+            const Tick a = in.pq.front().arrival; // > now
+            if (!eq_.canFuseBefore(a)) {
+                // Sleep straight to the head's projected delivery
+                // tick; pushIngress re-arms earlier if a later send
+                // undercuts the head. The projection sits past a,
+                // hence past now and curT -- no clamp needed.
+                armDrain(in, projectedDelivery(n, in));
+                break;
+            }
+            // Nothing can fire at or before a, so no send -- on the
+            // clock or fused ahead of it -- can beat this arrival to
+            // the NI: reserve it now and sleep straight through to
+            // its delivery tick (the retired fused-send elision,
+            // generalized to every quiet arrival).
+            reserveHead(n, in);
+            continue;
+        }
+
+        const Tick d = in.ready.front().delivered;
+        if (d > now) {
+            // Fuse the delivery inline at base d if its window is
+            // event-free. The drain itself is off the queue, so the
+            // guard answers about foreign events only -- no
+            // deschedule dance around its own arm.
+            if (!(fusible(n) && eq_.canFuseBeforeExact(d))) {
+                armDrain(in, d);
+                break;
+            }
+            // The occupancy window is event-free: deliver inline at
+            // base d instead of sleeping to it (the retired
+            // arrival-stage fusion, now chaining across deliveries).
+            eq_.noteFused(d);
+            now = d;
+        }
+
+        // Deliver the head. Copy and pop first -- the handler may
+        // send to this very node -- and publish the node's next
+        // action on the fusion floor *before* handing control away,
+        // so every other component's fusion guard sees this node's
+        // pending work (the visibility invariant; ARCHITECTURE.md,
+        // "Batched NI drain").
+        const CohMsg msg = in.ready.front().msg;
+        in.ready.pop();
+        if (in.ready.empty())
+            in.slotValid = false; // the slot (ready tail) delivered
+        const Tick next = !in.ready.empty()
+                              ? in.ready.front().delivered
+                              : (!in.pq.empty()
+                                     ? projectedDelivery(n, in)
+                                     : maxTick);
+        eq_.setFuseFloor(next);
+        if (now > curT) {
+            FuseScope scope(this);
+            deliver(msg, d);
+        } else {
+            deliver(msg, d);
+        }
+        eq_.setFuseFloor(maxTick);
+        // Loop on: the handler may have queued more work for this
+        // node, and further due or fusible deliveries fold into this
+        // same dispatch instead of costing one each.
+    }
+    draining_ = noNode;
+}
+
+void
+Network::localFlushFired()
+{
+    // Deliver everything due on this tick in (due, seq) order -- the
+    // same order the retired per-message events fired in for any one
+    // node's stream. Handlers may push new locals mid-loop; those are
+    // due next tick at the earliest and never fold into this flush.
+    // Copy-then-index throughout: deliver() can push new locals,
+    // which may insert into (and reallocate) the suffix under us.
+    const Tick now = eq_.curTick();
+    while (localHead_ < localQ_.size() && localQ_[localHead_].due <= now) {
+        const CohMsg msg = localQ_[localHead_].msg;
+        ++localHead_;
+        deliver(msg, now);
+    }
+    if (localHead_ == localQ_.size()) {
+        localQ_.clear(); // keeps capacity: steady state allocates nothing
+        localHead_ = 0;
+    } else {
+        if (localHead_ >= 64) {
+            // Backstop for a queue that never fully drains: slide
+            // the live suffix down so the flushed prefix cannot grow
+            // without bound.
+            localQ_.erase(localQ_.begin(),
+                          localQ_.begin() +
+                              static_cast<std::ptrdiff_t>(localHead_));
+            localHead_ = 0;
+        }
+        armLocal(localQ_[localHead_].due);
+    }
 }
 
 } // namespace mspdsm

@@ -46,10 +46,16 @@ class FaultManager;
  * The interconnect. Owns no protocol state; it only moves CohMsg
  * values between nodes with appropriate delays.
  *
- * Message motion is event-driven through a pool of pre-allocated
- * NetEvents (one per in-flight message, reused), so the per-message
- * fast path performs no allocation: the same event object carries the
- * message through its ingress-arrival and delivery stages.
+ * Remote message motion is *drain-batched*: each destination keeps an
+ * arrival-ordered FIFO of in-flight messages, and a single
+ * self-rescheduling drain event per node books the ingress NI for
+ * every message whose arrival has come and delivers the due one --
+ * O(busy periods) event dispatches instead of the former O(messages)
+ * arrival+delivery pair per message. The drain is always scheduled at
+ * or before the node's next delivery, so the fused fast paths'
+ * canFuseBefore() horizon still sees every pending delivery (see
+ * docs/ARCHITECTURE.md, "Batched NI drain"). Only local (src == dst)
+ * messages still ride a pooled per-message event.
  *
  * Delivery is statically dispatched: a node attaches its concrete
  * cache controller and home directory, and the network routes each
@@ -117,6 +123,21 @@ class Network
      */
     void setFaults(FaultManager *f) { faults_ = f; }
 
+    /**
+     * Node @p n's ingress drain event (tests). The fault suite pins
+     * that a failover-style mass cancel cannot strand this node's
+     * queued arrivals: the fault path never deschedules the drain,
+     * and even a forced deschedule is healed by the next send.
+     */
+    Event &drainEvent(NodeId n) { return ingress_[n].drain; }
+
+    /** In-flight remote messages bound for node @p n (tests). */
+    std::size_t
+    inFlightTo(NodeId n) const
+    {
+        return ingress_[n].pq.size() + ingress_[n].ready.size();
+    }
+
   private:
     /**
      * Per-node delivery sink: either a (cache, directory) pair routed
@@ -132,21 +153,207 @@ class Network
         bool attached() const { return cache || fn; }
     };
 
-    /** One in-flight message: arrival at the ingress NI, delivery. */
-    struct NetEvent final : public Event
+    /**
+     * One in-flight *local* message (src == dst): a single bus cycle
+     * straight to delivery, no NI involvement. All nodes' local
+     * traffic shares one due-ordered queue behind one flush event --
+     * handlers running on the same tick across the machine each put
+     * their loopback on the bus together, so flushing them in one
+     * dispatch replaces the densest per-message event population left
+     * after the ingress drain. Remote messages ride the
+     * per-destination drain instead.
+     */
+    struct LocalPending
     {
-        explicit NetEvent(Network *n) : net(n) {}
-
-        void process() override { net->fired(*this); }
-
-        Network *net;
+        Tick due;
+        std::uint64_t seq; //!< push order; breaks same-tick ties
         CohMsg msg;
-        Tick occ = 0;        //!< ingress NI occupancy of this message
-        bool arrived = false; //!< past the ingress-arrival stage
     };
 
-    /** Stage dispatch for a pooled NetEvent. */
-    void fired(NetEvent &e);
+    /** The single machine-wide local-delivery flush event. */
+    struct LocalFlushEvent final : public Event
+    {
+        void process() override { net->localFlushFired(); }
+
+        Network *net = nullptr;
+    };
+
+    /** A remote message waiting for its ingress NI reservation. */
+    struct Pending
+    {
+        Tick arrival;
+        std::uint64_t seq; //!< global push order; breaks arrival ties
+        CohMsg msg;
+    };
+
+    /** Min-heap order for Pending: earliest (arrival, seq) on top --
+     * the same order the retired per-message arrival events fired in
+     * (event-queue per-tick FIFO == schedule == push order). */
+    struct PendingLater
+    {
+        bool
+        operator()(const Pending &a, const Pending &b) const
+        {
+            if (a.arrival != b.arrival)
+                return a.arrival > b.arrival;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** A reserved message riding out its NI occupancy window. */
+    struct ReadyMsg
+    {
+        Tick delivered;
+        CohMsg msg;
+    };
+
+    /**
+     * FIFO of reserved messages: reservations happen in arrival
+     * order against a monotone ingressFree_, so delivery ticks are
+     * nondecreasing front to back. A ring over a power-of-two vector;
+     * it grows to the busy-period high-water mark once, then the
+     * steady-state path is allocation-free.
+     */
+    class ReadyRing
+    {
+      public:
+        bool empty() const { return count_ == 0; }
+        std::size_t size() const { return count_; }
+        const ReadyMsg &front() const { return buf_[head_]; }
+
+        const ReadyMsg &
+        back() const
+        {
+            return buf_[(head_ + count_ - 1) & (buf_.size() - 1)];
+        }
+
+        void
+        push(Tick delivered, const CohMsg &msg)
+        {
+            if (count_ == buf_.size()) [[unlikely]]
+                grow();
+            buf_[(head_ + count_) & (buf_.size() - 1)] =
+                ReadyMsg{delivered, msg};
+            ++count_;
+        }
+
+        void
+        pop()
+        {
+            head_ = (head_ + 1) & (buf_.size() - 1);
+            --count_;
+        }
+
+        /** Drop the tail (optimistic-slot rollback only). */
+        void popBack() { --count_; }
+
+      private:
+        void grow();
+
+        std::vector<ReadyMsg> buf_;
+        std::size_t head_ = 0;
+        std::size_t count_ = 0;
+    };
+
+    /** The per-destination self-rescheduling drain event. */
+    struct DrainEvent final : public Event
+    {
+        void process() override { net->drainFired(node); }
+
+        Network *net = nullptr;
+        NodeId node = 0;
+    };
+
+    /**
+     * One destination's ingress state: unreserved arrivals ordered by
+     * (arrival, push seq), reserved messages in delivery order, and
+     * the drain event that works both down. Invariant outside a drain
+     * dispatch: whenever either queue is non-empty, the drain is
+     * scheduled at or before the node's next delivery.
+     */
+    struct NodeIngress
+    {
+        std::vector<Pending> pq; //!< binary heap (PendingLater)
+        ReadyRing ready;
+        DrainEvent drain;
+        /**
+         * Single-slot optimistic reservation (see pushIngress). While
+         * set, the ready *tail* holds a reservation made without an
+         * event-horizon proof; a later send undercutting slotArrival
+         * unwinds it from these saved values. The slot retires --
+         * becomes indistinguishable from a canonical reservation --
+         * when a canonical reservation lands on top of it
+         * (reserveHead, which only happens once its arrival is in
+         * the past) or when it is popped for delivery.
+         */
+        bool slotValid = false;
+        Tick slotArrival = 0;  //!< the speculative entry's arrival
+        Tick slotPrevFree = 0; //!< ingressFree_ before it reserved
+        Tick slotQueued = 0;   //!< queueing cycles it booked
+        std::uint64_t slotSeq = 0; //!< its (arrival, seq) tie-break
+    };
+
+    /** Deliver every local message due this tick; re-arm at next. */
+    void localFlushFired();
+
+    /**
+     * Arm the local flush for @p t, keeping an already-armed earlier
+     * tick (same discipline as armDrain).
+     */
+    void
+    armLocal(Tick t)
+    {
+        if (localFlush_.scheduled()) {
+            if (localFlush_.when() <= t)
+                return;
+            eq_.deschedule(localFlush_);
+        }
+        eq_.schedule(t, localFlush_);
+    }
+
+    /** Enqueue a remote arrival and keep the drain invariant. */
+    void pushIngress(NodeId dst, Tick arrival, const CohMsg &msg);
+
+    /** The drain dispatch: batch reservations, deliver what is due. */
+    void drainFired(NodeId n);
+
+    /** Reserve the earliest pending arrival of @p in at node @p n. */
+    void reserveHead(NodeId n, NodeIngress &in);
+
+    /**
+     * The delivery tick the pending head *will* get when reserved,
+     * assuming no earlier arrival is pushed first: the same
+     * max(arrival, ingressFree) + occupancy arithmetic reserveHead
+     * performs, computed without committing it. Exact unless a later
+     * send undercuts the head's arrival -- and pushIngress re-arms
+     * the drain earlier whenever that happens, so the drain can
+     * sleep straight through to this tick instead of waking at the
+     * arrival first.
+     */
+    Tick
+    projectedDelivery(NodeId n, const NodeIngress &in) const
+    {
+        const Pending &p = in.pq.front();
+        const Tick occ = carriesData(p.msg.type) ? cfg_.niData
+                                                 : cfg_.niControl;
+        return std::max(p.arrival, ingressFree_[n]) + occ;
+    }
+
+    /**
+     * Schedule the drain at @p t, keeping an already-armed earlier
+     * tick (the drain never needs to fire later than any tick it is
+     * already set for -- a too-early wake re-arms itself exactly).
+     */
+    void
+    armDrain(NodeIngress &in, Tick t)
+    {
+        if (in.drain.scheduled()) {
+            if (in.drain.when() <= t)
+                return;
+            eq_.deschedule(in.drain);
+        }
+        eq_.schedule(t, in.drain);
+    }
 
     /**
      * Hand @p msg to its destination sink as of tick @p base
@@ -160,15 +367,15 @@ class Network
      * full protocol node anchors all its timing on the base tick the
      * delivery hands it. Raw test hooks are excluded -- they are
      * entitled to read the clock -- so attaching one pins that node
-     * to the pre-fusion event-per-stage behaviour.
+     * to on-the-tick deliveries.
      *
      * The depth cap bounds fused *chains*: in a quiet system a local
      * transaction's delivery re-enters the processor, which issues
      * the next access, which delivers again -- recursion that could
      * otherwise walk an entire trace in one stack. Past the cap the
-     * send falls back to the pooled event, which is behaviourally
-     * identical (that is the whole fusion invariant), so the cap
-     * trades only constant factors, never results.
+     * delivery falls back to the evented drain path, which is
+     * behaviourally identical (that is the whole fusion invariant),
+     * so the cap trades only constant factors, never results.
      */
     bool
     fusible(NodeId n) const
@@ -179,9 +386,12 @@ class Network
     /**
      * Contend for the destination's ingress NI as of @p arrival:
      * books the queueing delay and the occupancy window, and returns
-     * the delivery tick. The fused send path and the arrival stage
-     * of fired() must model contention tick-for-tick identically for
-     * the fusion-exactness argument to hold, so both call this.
+     * the delivery tick. Pure arithmetic on (arrival, occ) and the
+     * monotone ingressFree_ -- its result depends only on the
+     * per-destination reservation *order*, never on the wall tick it
+     * runs at, which is what lets the drain defer reservations and
+     * batch them (the timing-equivalence argument in
+     * docs/ARCHITECTURE.md).
      */
     Tick
     reserveIngress(NodeId dst, Tick arrival, Tick occ)
@@ -203,6 +413,9 @@ class Network
 
     static constexpr unsigned maxFuseDepth = 64;
 
+    /** Sentinel for draining_: no drain loop on the stack. */
+    static constexpr NodeId noNode = static_cast<NodeId>(~NodeId{0});
+
     EventQueue &eq_;
     const ProtoConfig &cfg_;
     Rng rng_;
@@ -213,9 +426,24 @@ class Network
     std::vector<Tick> ingressFree_; //!< next free tick per dest NI
     std::vector<Tick> linkFree_; //!< next free tick per fabric link
     std::vector<Tick> pairLast_; //!< last arrival per (src,dst) pair
-    EventPool<NetEvent> pool_;
+    std::vector<NodeIngress> ingress_; //!< per-destination drain state
+    /**
+     * Machine-wide local traffic, sorted ascending by (due, seq)
+     * from localHead_ on; [0, localHead_) is the flushed prefix.
+     * Pushes are near-monotone (due is the sender's base + 1 and
+     * bases never move backwards), so the common push is an append
+     * and the flush pops by bumping the index -- no heap sift either
+     * way. The prefix is reclaimed whenever the queue drains empty
+     * (the common case, keeping capacity), or compacted in place
+     * once it outgrows a small bound.
+     */
+    std::vector<LocalPending> localQ_;
+    std::size_t localHead_ = 0; //!< first unflushed localQ_ entry
+    LocalFlushEvent localFlush_;
     FaultManager *faults_ = nullptr; //!< fault layer; null = fault-free
     unsigned fuseDepth_ = 0; //!< live inline deliveries on the stack
+    NodeId draining_ = noNode; //!< node whose drain loop is on stack
+    std::uint64_t pushSeq_ = 0; //!< global arrival-tie sequencer
     Counter sent_;
     Counter queued_;
     Counter linkQueued_;

@@ -232,6 +232,8 @@ class EventQueue
         // guarantee, independent of memo state.
         if (when >= faultHorizon_)
             return false;
+        if (when >= fuseFloor_)
+            return false;
         if (minValid_) [[likely]]
             return when < minHint_;
         if (fuseSkip_ > 0) {
@@ -246,6 +248,41 @@ class EventQueue
         ++fuseFails_;
         return false;
     }
+
+    /**
+     * The exact form of canFuseBefore(): same run-limit and
+     * fault-horizon gates, but a cold memo is refreshed with a scan
+     * instead of budgeted away. For call sites where a false decline
+     * costs a whole schedule/dispatch/deschedule round trip -- one
+     * bitmap scan is cheaper than one event -- and whose decline rate
+     * is bounded by the event count anyway (a decline ends the
+     * caller's fused run, so the scans cannot outnumber the events
+     * they are traded against).
+     */
+    bool
+    canFuseBeforeExact(Tick when)
+    {
+        if (when > runLimit_ || when >= faultHorizon_)
+            return false;
+        if (when >= fuseFloor_)
+            return false;
+        return when < nextTick();
+    }
+
+    /**
+     * Fusion visibility floor: both guards refuse any tick at or past
+     * it, exactly as if an event were scheduled there. The network's
+     * drain loop publishes a node's next pending action here for the
+     * duration of each delivery handler instead of re-arming the
+     * drain event around it -- the bound the guards see is identical,
+     * but a store replaces a schedule/deschedule pair, and the
+     * deschedule's min-memo invalidation (the drain usually *is* the
+     * queue minimum) no longer forces a bitmap rescan per delivery.
+     * maxTick means no floor; holders must restore it on exit.
+     */
+    Tick fuseFloor() const { return fuseFloor_; }
+
+    void setFuseFloor(Tick t) { fuseFloor_ = t; }
 
     /**
      * Record work performed ahead of the clock by a fused fast path.
@@ -457,6 +494,7 @@ class EventQueue
     mutable bool minValid_ = false;
     Tick runLimit_ = maxTick; //!< active run()'s deadlock-guard limit
     Tick faultHorizon_ = maxTick; //!< next fault tick; fusion ceiling
+    Tick fuseFloor_ = maxTick;    //!< drain-published pending work
     unsigned fuseSkip_ = 0;  //!< guard scans to decline outright
     unsigned fuseFails_ = 0; //!< consecutive scan-and-fail outcomes
     std::uint64_t nextSeq_ = 0;

@@ -79,7 +79,7 @@ TEST(Fault, UnconfiguredRunCarriesNoFaultState)
     // the fault layer provably did not perturb the machine).
     const RunResult r = runSpec("em3d", SpecMode::SwiFirstRead, tiny());
     EXPECT_EQ(r.status, RunStatus::Completed);
-    EXPECT_EQ(r.execTicks, 119987u);
+    EXPECT_EQ(r.execTicks, 120022u);
     EXPECT_EQ(r.messages, 1984u);
     EXPECT_FALSE(r.fault.faulted);
     EXPECT_EQ(r.fault.killTick, 0u);
@@ -105,7 +105,7 @@ TEST(Fault, KillAndRecoveryBookkeeping)
     EXPECT_GE(r.fault.opsAtRestart, r.fault.opsAtKill);
     EXPECT_GT(r.fault.opsAtEnd, r.fault.opsAtRestart);
     // The outage costs time against the fault-free golden run.
-    EXPECT_GT(r.execTicks, 119987u);
+    EXPECT_GT(r.execTicks, 120022u);
     // em3d shares every block across the machine: survivors always
     // hold lines homed at the victim, so the backup's reconstruction
     // sweep always has contributors.

@@ -113,7 +113,7 @@ TEST_F(CacheTest, ExperimentRunsShareTheCachedWorkload)
     EXPECT_TRUE(r3.completed());
     // The golden-pinned values still hold through the cache (the
     // full set lives in tests/integration/test_golden.cc).
-    EXPECT_EQ(r1.execTicks, 124549u);
+    EXPECT_EQ(r1.execTicks, 124574u);
     EXPECT_EQ(r1.messages, 2208u);
     EXPECT_EQ(r3.messages, 1984u);
 }

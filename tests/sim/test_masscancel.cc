@@ -8,8 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
+#include "base/random.hh"
+#include "net/network.hh"
 #include "sim/eventq.hh"
 
 using namespace mspdsm;
@@ -210,6 +213,159 @@ TEST(MassCancel, FaultHorizonCapsFusionRegardlessOfQueueState)
     EXPECT_TRUE(eq.deschedule(a));
     EXPECT_EQ(eq.nextTick(), maxTick);
     EXPECT_TRUE(eq.canFuseBefore(1000)); // horizon lifted
+}
+
+namespace
+{
+
+/** Raw network sink: records (tick, blk) per delivery. */
+struct SinkLog
+{
+    EventQueue *eq;
+    std::vector<std::pair<Tick, BlockId>> log;
+
+    static void
+    record(void *ctx, const CohMsg &m)
+    {
+        auto *s = static_cast<SinkLog *>(ctx);
+        s->log.emplace_back(s->eq->curTick(), m.blk);
+    }
+};
+
+CohMsg
+toZero(NodeId src, BlockId blk)
+{
+    CohMsg m;
+    m.type = MsgType::GetS;
+    m.src = src;
+    m.dst = 0;
+    m.blk = blk;
+    return m;
+}
+
+/** Fires once at its scheduled tick and runs a callback. */
+template <typename Fn>
+struct At final : public Event
+{
+    explicit At(Fn f) : fn(std::move(f)) {}
+
+    void process() override { fn(); }
+
+    Fn fn;
+};
+
+} // namespace
+
+TEST(MassCancel, ForeignPoolSweepLeavesTheDrainFifoIntact)
+{
+    // A directory failover sweeps *its own* event pool
+    // (EventPool::forEach + deschedule) while a destination's ingress
+    // FIFO is non-empty and its drain event is pending. The sweep
+    // must not perturb the drain: every queued arrival still delivers
+    // at exactly the tick an undisturbed run produces.
+    auto run = [](bool sweep) {
+        EventQueue eq;
+        ProtoConfig cfg;
+        Network net(eq, cfg, Rng(7));
+        SinkLog sink{&eq, {}};
+        for (NodeId n = 0; n < cfg.numNodes; ++n)
+            net.attach(n, &SinkLog::record, &sink);
+
+        auto send = At([&] {
+            for (int i = 0; i < 12; ++i)
+                net.send(toZero(NodeId(1 + i % 3), BlockId(i)));
+        });
+        eq.schedule(5, send);
+
+        EventPool<Probe> pool;
+        auto sweeper = At([&] {
+            // The backlog is in flight: pending arrivals queued, the
+            // drain armed. Sweep a 64-event pool spanning all three
+            // queue levels, failover-style.
+            EXPECT_GT(net.inFlightTo(0), 0u);
+            EXPECT_TRUE(net.drainEvent(0).scheduled());
+            pool.forEach([&](Probe &p) {
+                if (p.scheduled()) {
+                    eq.deschedule(p);
+                    pool.release(p);
+                }
+            });
+        });
+        if (sweep) {
+            eq.schedule(20, sweeper);
+            for (int i = 0; i < 64; ++i) {
+                Probe &p = pool.acquire();
+                const Tick when = i % 4 == 0   ? 20
+                                  : i % 4 == 1 ? 3000
+                                  : i % 4 == 2 ? 90 * giga
+                                               : 2000 * giga;
+                eq.schedule(when, p);
+            }
+        }
+
+        EXPECT_TRUE(eq.run());
+        EXPECT_EQ(net.inFlightTo(0), 0u);
+        return sink.log;
+    };
+
+    const auto undisturbed = run(false);
+    const auto swept = run(true);
+    EXPECT_EQ(undisturbed.size(), 12u);
+    EXPECT_EQ(swept, undisturbed);
+}
+
+TEST(MassCancel, DeschedulingTheDrainStrandsNothingPastTheNextPush)
+{
+    // The hostile case the failover path must never create but the
+    // network has to survive anyway: the drain event itself is
+    // descheduled while the per-destination FIFO holds arrivals. The
+    // queue then runs dry with the backlog stranded -- until the next
+    // push to that destination, whose !scheduled() branch re-arms the
+    // drain (clamped to the current tick, long past the stranded
+    // arrival times) and every queued message delivers, in order.
+    EventQueue eq;
+    ProtoConfig cfg;
+    cfg.netJitter = 0; // deterministic cross-source arrival order
+    Network net(eq, cfg, Rng(7));
+    SinkLog sink{&eq, {}};
+    for (NodeId n = 0; n < cfg.numNodes; ++n)
+        net.attach(n, &SinkLog::record, &sink);
+
+    auto send = At([&] {
+        for (int i = 0; i < 12; ++i)
+            net.send(toZero(NodeId(1 + i % 3), BlockId(i)));
+    });
+    eq.schedule(5, send);
+
+    auto cancel = At([&] {
+        ASSERT_EQ(net.inFlightTo(0), 12u);
+        ASSERT_TRUE(net.drainEvent(0).scheduled());
+        EXPECT_TRUE(eq.deschedule(net.drainEvent(0)));
+    });
+    eq.schedule(20, cancel);
+
+    EXPECT_TRUE(eq.run());
+    // Stranded: the queue is empty, the backlog is not.
+    EXPECT_EQ(sink.log.size(), 0u);
+    EXPECT_EQ(net.inFlightTo(0), 12u);
+    EXPECT_FALSE(net.drainEvent(0).scheduled());
+
+    // One late push heals the node: it re-arms the drain and the
+    // whole backlog drains behind it.
+    const Tick healTick = 5000;
+    auto heal = At([&] { net.send(toZero(3, BlockId(99))); });
+    eq.schedule(healTick, heal);
+    EXPECT_TRUE(eq.run());
+
+    ASSERT_EQ(sink.log.size(), 13u);
+    EXPECT_EQ(net.inFlightTo(0), 0u);
+    for (std::size_t i = 0; i < 12; ++i) {
+        // Stranded arrivals deliver at/after the heal (never at a
+        // stale pre-strand tick) and keep their push order.
+        EXPECT_GE(sink.log[i].first, healTick) << "delivery " << i;
+        EXPECT_EQ(sink.log[i].second, BlockId(i));
+    }
+    EXPECT_EQ(sink.log.back().second, BlockId(99));
 }
 
 TEST(MassCancel, CancelAllThenRescheduleReusesTheQueue)
