@@ -84,6 +84,27 @@ printUsage(std::ostream &os, const char *tool, const char *what)
        << "               checkpoint into the backup on the kill\n"
        << "  --ckpt-interval T  predictor checkpoint period, ticks\n"
        << "               (0 = no checkpointing)\n"
+       << "  --kill N@T   fail-stop node N at tick T (repeatable;\n"
+       << "               combines with --fail-node for concurrent\n"
+       << "               and cascading failures)\n"
+       << "  --restart N@T  restart node N at tick T (repeatable);\n"
+       << "               the victim re-adopts its original shard\n"
+       << "               (fail-back)\n"
+       << "  --replicate-shards  stream directory-shard deltas to the\n"
+       << "               backup (batched ShardSync messages) so\n"
+       << "               failover installs replicated state instead\n"
+       << "               of sweeping the survivors' caches\n"
+       << "  --retry-limit N  cache retry FSM bound before the fatal\n"
+       << "               (default 16)\n"
+       << "  --stale-timeout T  silence, in ticks, before a cache\n"
+       << "               re-issues an outstanding miss (default "
+          "20000)\n"
+       << "  --lossy-link L,FROM,TO,NTH  drop every NTH message head\n"
+       << "               crossing link L in tick window [FROM,TO)\n"
+       << "               (repeatable; link topologies only; TO = 0\n"
+       << "               means forever). Dropped transmissions are\n"
+       << "               retransmitted after a fixed delay from a\n"
+       << "               bounded budget\n"
        << "  --jobs N     parallel runs; 0 = all hardware threads\n"
        << "               (default 1 = serial; results are\n"
        << "               bit-identical either way)\n"
@@ -110,6 +131,18 @@ parseArgs(int argc, char **argv, const char *tool, const char *what)
             std::exit(2);
         }
         return argv[++i];
+    };
+    // "N@T" for --kill / --restart: node N, tick T.
+    auto nodeAtTick = [&](const char *flag, const char *s,
+                          NodeId &node, Tick &tick) {
+        char *at = nullptr;
+        node = static_cast<NodeId>(std::strtoul(s, &at, 10));
+        if (!at || *at != '@') {
+            std::cerr << tool << ": " << flag << " expects N@T, got '"
+                      << s << "'\n";
+            std::exit(2);
+        }
+        tick = std::strtoull(at + 1, nullptr, 10);
     };
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -150,6 +183,45 @@ parseArgs(int argc, char **argv, const char *tool, const char *what)
             a.ec.warmRestart = true;
         } else if (!std::strcmp(arg, "--ckpt-interval")) {
             a.ec.ckptInterval = std::strtoull(value(i), nullptr, 10);
+        } else if (!std::strcmp(arg, "--kill")) {
+            FaultEvent fe{0, invalidNode, FaultKind::Kill};
+            nodeAtTick("--kill", value(i), fe.node, fe.tick);
+            a.ec.extraFaults.push_back(fe);
+        } else if (!std::strcmp(arg, "--restart")) {
+            FaultEvent fe{0, invalidNode, FaultKind::Restart};
+            nodeAtTick("--restart", value(i), fe.node, fe.tick);
+            a.ec.extraFaults.push_back(fe);
+        } else if (!std::strcmp(arg, "--replicate-shards")) {
+            a.ec.replicateShards = true;
+        } else if (!std::strcmp(arg, "--retry-limit")) {
+            a.ec.retryLimit =
+                static_cast<unsigned>(std::atoi(value(i)));
+        } else if (!std::strcmp(arg, "--stale-timeout")) {
+            a.ec.staleTimeout = std::strtoull(value(i), nullptr, 10);
+        } else if (!std::strcmp(arg, "--lossy-link")) {
+            const char *s = value(i);
+            LinkLossRule r;
+            char *p = nullptr;
+            r.link = static_cast<std::uint32_t>(
+                std::strtoul(s, &p, 10));
+            bool ok = p && *p == ',';
+            if (ok)
+                r.from = std::strtoull(p + 1, &p, 10);
+            ok = ok && p && *p == ',';
+            if (ok)
+                r.to = std::strtoull(p + 1, &p, 10);
+            ok = ok && p && *p == ',';
+            if (ok)
+                r.everyNth = static_cast<unsigned>(
+                    std::strtoul(p + 1, &p, 10));
+            if (!ok || (p && *p != '\0')) {
+                std::cerr << tool << ": --lossy-link expects "
+                          << "L,FROM,TO,NTH, got '" << s << "'\n";
+                std::exit(2);
+            }
+            if (r.to == 0) // 0 = open-ended window
+                r.to = maxTick;
+            a.ec.linkLoss.push_back(r);
         } else if (!std::strcmp(arg, "--jobs") ||
                    !std::strcmp(arg, "-j")) {
             a.jobs = static_cast<unsigned>(std::atoi(value(i)));

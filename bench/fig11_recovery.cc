@@ -14,8 +14,12 @@
  *    machine-wide instruction throughput of each phase. The fault
  *    plan is identical across the Base and SWI runs of a cell, so
  *    phase boundaries line up exactly;
- *  - the recovery traffic itself (re-homing syncs, checkpoint
- *    replication messages) and the link queueing it adds.
+ *  - the recovery traffic itself, split by where it is paid: the
+ *    survivor-sweep columns pay re-homing syncs at failover, the
+ *    --replicate-shards columns pay batched ShardSync messages
+ *    incrementally during normal operation and install the mirror
+ *    for free at failover -- plus checkpoint replication messages
+ *    and the link queueing all of it adds.
  *
  * Expected shape: speculation keeps its win before and after the
  * outage, and warm restart closes most of the post-restart gap that
@@ -95,6 +99,7 @@ main(int argc, char **argv)
     {
         TopoKind kind;
         bool warm;
+        bool repl; //!< shard replication vs survivor sweep
         std::size_t base, swi; //!< submission indices
     };
 
@@ -102,29 +107,43 @@ main(int argc, char **argv)
     std::vector<Cell> cells;
     for (TopoKind kind : topos) {
         for (const bool warm : {false, true}) {
-            ExperimentConfig ec = args.ec;
-            ec.topo.kind = kind;
-            ec.failNode = victim;
-            ec.failTick = failTick;
-            ec.recoverTick = recoverTick;
-            ec.warmRestart = warm;
-            ec.ckptInterval = warm ? ckptInterval : 0;
-            const std::string tag = std::string(topoKindName(kind)) +
-                                    (warm ? " warm" : " cold");
-            Cell c;
-            c.kind = kind;
-            c.warm = warm;
-            c.base = sweep.add(
-                tag + " base",
-                [ec] { return runSpec("em3d", SpecMode::None, ec); },
-                topoKindName(kind));
-            c.swi = sweep.add(
-                tag + " SWI",
-                [ec] {
-                    return runSpec("em3d", SpecMode::SwiFirstRead, ec);
-                },
-                topoKindName(kind));
-            cells.push_back(c);
+            // Directory-shard recovery axis: reconstruct the dead
+            // home's shard by sweeping the survivors' caches (the
+            // PR 6 baseline) vs installing incrementally replicated
+            // state (--replicate-shards). The former pays its traffic
+            // at failover, the latter during normal operation.
+            for (const bool repl : {false, true}) {
+                ExperimentConfig ec = args.ec;
+                ec.topo.kind = kind;
+                ec.failNode = victim;
+                ec.failTick = failTick;
+                ec.recoverTick = recoverTick;
+                ec.warmRestart = warm;
+                ec.ckptInterval = warm ? ckptInterval : 0;
+                ec.replicateShards = repl;
+                const std::string tag =
+                    std::string(topoKindName(kind)) +
+                    (warm ? " warm" : " cold") +
+                    (repl ? " repl" : " sweep");
+                Cell c;
+                c.kind = kind;
+                c.warm = warm;
+                c.repl = repl;
+                c.base = sweep.add(
+                    tag + " base",
+                    [ec] {
+                        return runSpec("em3d", SpecMode::None, ec);
+                    },
+                    topoKindName(kind));
+                c.swi = sweep.add(
+                    tag + " SWI",
+                    [ec] {
+                        return runSpec("em3d", SpecMode::SwiFirstRead,
+                                       ec);
+                    },
+                    topoKindName(kind));
+                cells.push_back(c);
+            }
         }
     }
     sweep.results();
@@ -139,9 +158,9 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(failTick),
                 static_cast<unsigned long long>(recoverTick));
 
-    Table t({"topology", "restart", "recover", "speedup before",
-             "during", "after", "rehome", "ckpt msgs", "retries",
-             "link queue"});
+    Table t({"topology", "restart", "shards", "recover",
+             "speedup before", "during", "after", "rehome",
+             "shard syncs", "ckpt msgs", "retries", "link queue"});
     for (const Cell &c : cells) {
         const RunResult &base = sweep.result(c.base);
         const RunResult &swi = sweep.result(c.swi);
@@ -162,12 +181,14 @@ main(int argc, char **argv)
         const auto sr = rates(swi);
 
         t.addRow({topoKindName(c.kind), c.warm ? "warm" : "cold",
+                  c.repl ? "repl" : "sweep",
                   recovered
                       ? Table::fmt(sf.recoveredTick - sf.killTick)
                       : "n/a",
                   speedupCell(br[0], sr[0]), speedupCell(br[1], sr[1]),
                   speedupCell(br[2], sr[2]),
                   Table::fmt(sf.rehomeSyncs),
+                  Table::fmt(sf.shardSyncs),
                   Table::fmt(sf.ckptMessages), Table::fmt(sf.retries),
                   Table::fmt(swi.linkQueueingCycles)});
         // Both runs of a cell share the plan; a drifting boundary

@@ -54,8 +54,8 @@ CacheCtrl::retryFired()
     } else {
         stats_.timeouts.inc();
         ++retryAttempts_;
-        fatal_if(retryAttempts_ > maxRetries, "cache ", id_,
-                 ": exhausted ", maxRetries,
+        fatal_if(retryAttempts_ > retryLimit_, "cache ", id_,
+                 ": exhausted ", retryLimit_,
                  " retries for block ", mshr_.blk,
                  "; home unreachable");
     }
@@ -70,7 +70,7 @@ CacheCtrl::retryFired()
                                  : MsgType::GetX)
                           : MsgType::GetS;
     sendRequest(t, mshr_.blk, l, eq_.curTick());
-    eq_.schedule(eq_.curTick() + retryTimeout, retryEvent_);
+    eq_.schedule(eq_.curTick() + retryTimeout_, retryEvent_);
 }
 
 void
@@ -143,7 +143,7 @@ CacheCtrl::issueMiss(BlockId blk, bool is_write, MemCompletion &done,
         // its reply) in flight, the message is dropped and only this
         // timer recovers the transaction.
         retryAfterNack_ = false;
-        eq_.schedule(base + retryTimeout, retryEvent_);
+        eq_.schedule(base + retryTimeout_, retryEvent_);
     }
 }
 
@@ -242,8 +242,8 @@ CacheCtrl::handle(const CohMsg &msg, Tick base)
             return; // late bounce of an already-satisfied request
         stats_.nacks.inc();
         ++retryAttempts_;
-        fatal_if(retryAttempts_ > maxRetries, "cache ", id_,
-                 ": exhausted ", maxRetries, " retries for block ",
+        fatal_if(retryAttempts_ > retryLimit_, "cache ", id_,
+                 ": exhausted ", retryLimit_, " retries for block ",
                  mshr_.blk, "; home unreachable");
         if (retryEvent_.scheduled())
             eq_.deschedule(retryEvent_);
@@ -255,6 +255,7 @@ CacheCtrl::handle(const CohMsg &msg, Tick base)
       }
       case MsgType::RehomeSync:
       case MsgType::CkptData:
+      case MsgType::ShardSync:
         // Fault-layer traffic modelling only: the directory
         // reconstruction / predictor snapshot these messages stand
         // for is applied synchronously by the fault sweep. Their cost

@@ -168,6 +168,22 @@ class CacheCtrl
      */
     void enableFaults() { faultsEnabled_ = true; }
 
+    /**
+     * Configure the bounded-retry FSM: @p limit retries before the
+     * structured "exhausted" fatal, @p timeout ticks of silence before
+     * a demand miss is re-issued. The defaults reproduce the original
+     * hard-coded policy bit for bit (DsmConfig carries the same
+     * defaults); fig11 sweeps them via --retry-limit/--stale-timeout.
+     */
+    void
+    setRetryPolicy(unsigned limit, Tick timeout)
+    {
+        fatal_if(limit == 0 || timeout == 0,
+                 "retry limit and stale timeout must be non-zero");
+        retryLimit_ = limit;
+        retryTimeout_ = timeout;
+    }
+
     /** Share the fault layer's home re-mapping table. */
     void setHomeRemap(const NodeId *table) { map_.setRemap(table); }
 
@@ -267,16 +283,6 @@ class CacheCtrl
     /** Issue a request message to the block's home at @p base. */
     void sendRequest(MsgType t, BlockId blk, const Line &l, Tick base);
 
-    /** Bounded retries before the node declares the home unreachable. */
-    static constexpr unsigned maxRetries = 16;
-
-    /**
-     * Retry timeout: safely above the worst legitimate round trip
-     * (the fault sweep unblocks every fault-stalled transaction at
-     * the kill tick itself, so an expiry means a message was lost).
-     */
-    static constexpr Tick retryTimeout = 20000;
-
     /** Deterministic backoff base after a Nack. */
     static constexpr Tick nackBackoffBase = 64;
 
@@ -292,6 +298,19 @@ class CacheCtrl
     HitEvent hitEvent_{this};
     MemCompletion *hitDone_ = nullptr;
     RetryEvent retryEvent_{this};
+
+    /** Bounded retries before the node declares the home unreachable
+     * (DsmConfig::retryLimit; default reproduces the original cap). */
+    unsigned retryLimit_ = 16;
+
+    /**
+     * Retry timeout (DsmConfig::staleTimeout): safely above the worst
+     * legitimate round trip (the fault sweep unblocks every
+     * fault-stalled transaction at the kill tick itself, so an expiry
+     * means a message was lost).
+     */
+    Tick retryTimeout_ = 20000;
+
     unsigned retryAttempts_ = 0;
     bool retryAfterNack_ = false; //!< pending timer is a Nack backoff
     bool faultsEnabled_ = false;

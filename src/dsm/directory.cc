@@ -182,6 +182,7 @@ Directory::wbGetSFired(BlockId blk, Tick base)
     Entry &e = entry(blk);
     e.state = DirState::Shared;
     e.sharers.add(e.curReq);
+    replicate(e, blk, base);
     CohMsg reply;
     reply.type = MsgType::DataShared;
     reply.src = id_;
@@ -278,6 +279,7 @@ Directory::onGetS(Entry &e, const CohMsg &msg, Tick base)
         // data reply is outstanding.
         e.state = DirState::Shared;
         e.sharers.add(src);
+        replicate(e, blk, base);
         ++e.repliesInFlight;
         const Tick fire = base + cfg_.dirLookup + cfg_.memAccess;
         if (fuseAt(e, fire)) {
@@ -471,6 +473,7 @@ Directory::grantExcl(Entry &e, BlockId blk, Tick base)
         e.state = DirState::Idle;
         e.owner = invalidNode;
         e.sharers.clear();
+        replicate(e, blk, base);
         drain(blk, base);
         return;
     }
@@ -482,6 +485,7 @@ Directory::grantExcl(Entry &e, BlockId blk, Tick base)
     e.state = DirState::Excl;
     e.owner = w;
     e.sharers.clear();
+    replicate(e, blk, base);
 
     CohMsg reply;
     reply.type = upgrade ? MsgType::UpgradeAck : MsgType::DataExcl;
@@ -601,6 +605,7 @@ Directory::completeSwi(Entry &e, BlockId blk, Tick base)
     e.curIsSwi = false;
     e.state = DirState::Idle;
     cold(e).swiEpoch = true; // swiExOwner was set at launch
+    replicate(e, blk, base); // pushSpec refines this if readers exist
 
     // Trigger the predicted read sequence (Section 4.1): forward the
     // block to every predicted consumer.
@@ -653,6 +658,7 @@ Directory::pushSpec(Entry &e, BlockId blk, NodeSet targets,
     c.misspecPenalized = false;
     c.specSent = c.specSent | targets;
     e.sharers = e.sharers | targets;
+    replicate(e, blk, when);
 
     for (NodeId t : targets) {
         if (trig == SpecTrigger::FirstRead)
@@ -781,6 +787,60 @@ Directory::verifyCopy(Entry &e, BlockId blk, const CohMsg &msg)
 }
 
 // --- Fault layer -----------------------------------------------------
+
+void
+Directory::replicate(Entry &e, BlockId blk, Tick base)
+{
+    if (!faults_ || !faults_->replicating())
+        return;
+    faults_->noteShardDelta(blk, e.state == DirState::Excl, e.owner,
+                            e.sharers, base);
+}
+
+void
+Directory::releaseShard(NodeId home)
+{
+    for (auto &kv : entries_) {
+        if (map_.geometricHomeOf(kv.first) != home)
+            continue;
+        Entry &e = kv.second;
+        if (busy(e) || e.hasDeferred() || e.repliesInFlight > 0) {
+            // A transaction this interim host was mid-way through is
+            // abandoned; the requester's retry FSM re-resolves the
+            // home to the restarted victim and re-issues.
+            stats_.faultAborts.inc();
+        }
+        e.sharers.clear();
+        e.owner = invalidNode;
+        e.curReq = invalidNode;
+        e.pendingAcks = 0;
+        e.repliesInFlight = 0;
+        e.state = DirState::Idle;
+        if (ColdEntry *c = e.cold) {
+            c->deferred.clear();
+            c->specSent.clear();
+            c->ackWait.clear();
+            c->phaseTriggered = false;
+            c->specKeyValid = false;
+            c->swiVerdictPending = false;
+        }
+    }
+    // The shard's pending due-actions reference the state just
+    // dropped: cancel them, then re-arm the flush for whatever is
+    // left (the filtered queue is still due-sorted).
+    const auto first =
+        dueQ_.begin() + static_cast<std::ptrdiff_t>(dueHead_);
+    dueQ_.erase(std::remove_if(first, dueQ_.end(),
+                               [&](const DueAction &a) {
+                                   return map_.geometricHomeOf(
+                                              a.msg.blk) == home;
+                               }),
+                dueQ_.end());
+    if (flush_.scheduled())
+        eq_.deschedule(flush_);
+    if (dueQ_.size() > dueHead_)
+        armFlush(dueQ_[dueHead_].due);
+}
 
 void
 Directory::failover()

@@ -157,6 +157,16 @@ class Directory
      */
     void pruneDead(NodeId v, Tick base);
 
+    /**
+     * Fail-back: drop every entry of geometric shard @p home that
+     * this directory was hosting as the interim backup, cancelling
+     * the shard's pending due-actions. In-flight transactions are
+     * aborted (counted as faultAborts); their requesters recover
+     * through the bounded-retry FSM, which re-resolves the home to
+     * the restarted victim.
+     */
+    void releaseShard(NodeId home);
+
   private:
     /**
      * Cold half of a directory entry, arena-allocated on first use
@@ -290,6 +300,14 @@ class Directory
 
     /** Run one popped action with the clock at its due tick. */
     void dispatch(ActKind kind, const CohMsg &msg, Tick base);
+
+    /**
+     * Shard replication hook, called whenever a transaction leaves
+     * @p blk's entry in a new stable state: mirror the entry at the
+     * fault layer (which batches the ShardSync traffic). Free when
+     * FaultPlan::replicateShards is off -- one predictable branch.
+     */
+    void replicate(Entry &e, BlockId blk, Tick base);
 
     /**
      * Arm the flush event for @p t, keeping an already-armed earlier

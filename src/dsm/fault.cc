@@ -31,6 +31,13 @@ FaultManager::FaultManager(EventQueue &eq, Network &net,
              "fault backup node ", plan_.backup, " out of range");
     for (unsigned i = 0; i < n; ++i)
         remap_[i] = static_cast<NodeId>(i);
+    if (plan_.replicateShards) {
+        mirror_.resize(n);
+        deltaBacklog_.assign(n, 0);
+    }
+    if (!plan_.linkLoss.empty())
+        net_.setLinkLoss(plan_.linkLoss, plan_.retransmitBudget,
+                         plan_.retransmitDelay);
 
     // Wire the whole machine: epoch screen at the network, shared
     // re-map table and retry FSM at every node, progress reporting at
@@ -57,11 +64,27 @@ FaultManager::FaultManager(EventQueue &eq, Network &net,
 }
 
 NodeId
+FaultManager::successor(NodeId from) const
+{
+    const unsigned n = cfg_.numNodes;
+    for (unsigned step = 1; step < n; ++step) {
+        const NodeId w = static_cast<NodeId>((from + step) % n);
+        if (!dead(w))
+            return w;
+    }
+    return from;
+}
+
+NodeId
 FaultManager::backupFor(NodeId v) const
 {
+    // An explicit backup is honored verbatim, even when it is dead or
+    // the victim itself (the documented retry-exhaustion path);
+    // otherwise the deterministic succession order picks the first
+    // live node after the victim.
     if (plan_.backup != invalidNode)
         return plan_.backup;
-    return static_cast<NodeId>((v + 1u) % cfg_.numNodes);
+    return successor(v);
 }
 
 std::uint64_t
@@ -114,6 +137,67 @@ FaultManager::planFired(PlanEvent &e)
 }
 
 void
+FaultManager::rehome(NodeId h, NodeId to, Tick now)
+{
+    if (to == h && dead(h))
+        return; // pathological explicit backup == dead victim
+    if (plan_.replicateShards) {
+        // Install the replicated mirror directly: no survivor sweep,
+        // no reconstruction traffic -- the cost was already paid
+        // incrementally as ShardSync messages during normal
+        // operation. Dead holders are screened out here (the mirror
+        // may still name nodes that died in this same cascade).
+        for (const auto &kv : mirror_[h]) {
+            const MirrorEntry &me = kv.second;
+            if (me.excl) {
+                if (me.owner != invalidNode && !dead(me.owner))
+                    dirs_[to]->adopt(kv.first, me.owner, true);
+            } else {
+                for (NodeId s : me.sharers)
+                    if (!dead(s))
+                        dirs_[to]->adopt(kv.first, s, false);
+            }
+        }
+        return;
+    }
+    // Survivor sweep: reconstruct the shard from the surviving
+    // caches, exactly the sharing information a recovery protocol
+    // would collect. Each contributing node also sends one RehomeSync
+    // over the real interconnect, so reconstruction has a network
+    // cost.
+    for (std::size_t s = 0; s < caches_.size(); ++s) {
+        const NodeId sn = static_cast<NodeId>(s);
+        if (sn == to || dead(sn)) {
+            // The new host contributes its own lines without traffic.
+            if (sn == to && !dead(sn))
+                caches_[s]->forEachLine(
+                    [&](BlockId blk, LineState st) {
+                        if (map_.geometricHomeOf(blk) == h)
+                            dirs_[to]->adopt(
+                                blk, sn, st == LineState::Modified);
+                    });
+            continue;
+        }
+        bool contributed = false;
+        caches_[s]->forEachLine([&](BlockId blk, LineState st) {
+            if (map_.geometricHomeOf(blk) == h) {
+                dirs_[to]->adopt(blk, sn, st == LineState::Modified);
+                contributed = true;
+            }
+        });
+        if (contributed) {
+            ++outcome_.rehomeSyncs;
+            CohMsg m;
+            m.type = MsgType::RehomeSync;
+            m.src = sn;
+            m.dst = to;
+            m.blk = 0;
+            net_.sendAt(now, m);
+        }
+    }
+}
+
+void
 FaultManager::killNode(NodeId v)
 {
     fatal_if(dead(v), "fault plan kills node ", v, " twice");
@@ -141,33 +225,23 @@ FaultManager::killNode(NodeId v)
             dirs_[d]->pruneDead(v, now);
     }
 
-    // The backup reconstructs the shard from the surviving caches:
-    // exactly the sharing information a recovery protocol would
-    // collect. Each contributing node also sends one RehomeSync over
-    // the real interconnect, so reconstruction has a network cost.
-    if (b != v) {
-        for (std::size_t s = 0; s < caches_.size(); ++s) {
-            const NodeId sn = static_cast<NodeId>(s);
-            if (sn == v || dead(sn))
-                continue;
-            bool contributed = false;
-            caches_[s]->forEachLine([&](BlockId blk, LineState st) {
-                if (map_.geometricHomeOf(blk) == v) {
-                    dirs_[b]->adopt(blk, sn,
-                                    st == LineState::Modified);
-                    contributed = true;
-                }
-            });
-            if (contributed && sn != b) {
-                ++outcome_.rehomeSyncs;
-                CohMsg m;
-                m.type = MsgType::RehomeSync;
-                m.src = sn;
-                m.dst = b;
-                m.blk = 0;
-                net_.sendAt(now, m);
-            }
-        }
+    // The backup installs the victim's shard (replicated mirror or
+    // survivor sweep; see rehome()).
+    rehome(v, b, now);
+
+    // Cascading failure: every shard the victim was hosting as a
+    // backup (its own failover() just dumped their entries) re-homes
+    // again, to the next live node in the succession order of the
+    // shard's geometric home, and reconstruction re-runs there. Any
+    // reconstruction traffic still in flight toward the dead backup
+    // is screened by the dead set like all other traffic.
+    for (std::size_t h = 0; h < remap_.size(); ++h) {
+        const NodeId hn = static_cast<NodeId>(h);
+        if (hn == v || remap_[h] != v)
+            continue;
+        const NodeId next = successor(hn);
+        remap_[h] = next;
+        rehome(hn, next, now);
     }
 
     // The victim's predictor state dies with it.
@@ -176,10 +250,12 @@ FaultManager::killNode(NodeId v)
 
     // Warm restart: the shard's new home inherits the last replicated
     // checkpoint of the victim's VMSP instead of learning from cold.
-    if (plan_.warmRestart && b != v && vmsps_[b] && ckpts_[v])
+    if (plan_.warmRestart && b != v && !dead(b) && vmsps_[b] &&
+        ckpts_[v])
         vmsps_[b]->mergeFrom(*ckpts_[v]);
 
-    outcome_.killTick = now;
+    if (outcome_.killTick == 0)
+        outcome_.killTick = now; // first kill anchors the outage
     outcome_.opsAtKill = totalOps();
 }
 
@@ -190,9 +266,31 @@ FaultManager::restartNode(NodeId v)
              " which is not down");
     const Tick now = eq_.curTick();
     deadSet_.remove(v);
-    // The epoch stays bumped: stragglers from before the crash remain
-    // stale forever. The directory shard stays at the backup.
-    awaitingProgress_ = true;
+
+    // Fail-back: the restarted victim re-adopts its original shard
+    // through the same indirection table. The epoch is bumped again
+    // so the fail-back is a recognizable boundary, the interim host
+    // releases the shard's entries (aborting transactions it was
+    // mid-way through -- the requesters' retry FSM re-resolves the
+    // home), and the shard state is rebuilt at the victim from the
+    // replicated mirror or a survivor sweep. In-flight messages still
+    // aimed at the interim host are screened at delivery by the
+    // currentHome() check.
+    ++epoch_[v];
+    const NodeId host = remap_[v];
+    if (host != v && !dead(host)) {
+        dirs_[host]->releaseShard(v);
+        ++outcome_.failbacks;
+    }
+    remap_[v] = v;
+    rehome(v, v, now);
+
+    // Warm restart: the victim's own predictor warms up again from
+    // the last checkpoint it replicated out before the crash.
+    if (plan_.warmRestart && vmsps_[v] && ckpts_[v])
+        vmsps_[v]->mergeFrom(*ckpts_[v]);
+
+    awaiting_.add(v);
     procs_[v]->restart(now);
     outcome_.restartTick = now;
     outcome_.opsAtRestart = totalOps();
@@ -207,12 +305,43 @@ FaultManager::predLoss(NodeId v)
 }
 
 void
-FaultManager::noteProgress(NodeId, Tick t)
+FaultManager::noteProgress(NodeId n, Tick t)
 {
-    if (awaitingProgress_) {
-        awaitingProgress_ = false;
-        outcome_.recoveredTick = t;
+    if (awaiting_.contains(n)) {
+        awaiting_.remove(n);
+        outcome_.recoveredTick = std::max(outcome_.recoveredTick, t);
     }
+}
+
+void
+FaultManager::noteShardDelta(BlockId blk, bool excl, NodeId owner,
+                             NodeSet sharers, Tick base)
+{
+    const NodeId h = map_.geometricHomeOf(blk);
+    MirrorEntry &me = mirror_[h][blk];
+    me.excl = excl;
+    me.owner = excl ? owner : invalidNode;
+    me.sharers = excl ? NodeSet{} : sharers;
+    ++outcome_.shardDeltas;
+
+    // Batched replication traffic: every shardSyncBatch deltas the
+    // acting home flushes one ShardSync to the shard's designated
+    // backup over the real interconnect.
+    if (++deltaBacklog_[h] < shardSyncBatch)
+        return;
+    deltaBacklog_[h] = 0;
+    const NodeId src = remap_[h];
+    const NodeId dst =
+        plan_.backup != invalidNode ? plan_.backup : successor(src);
+    if (src == dst || dead(src) || dead(dst))
+        return;
+    ++outcome_.shardSyncs;
+    CohMsg m;
+    m.type = MsgType::ShardSync;
+    m.src = src;
+    m.dst = dst;
+    m.blk = blk; // the delta that filled the batch
+    net_.sendAt(base, m);
 }
 
 void

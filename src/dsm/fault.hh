@@ -10,26 +10,45 @@
  *
  *  - A *kill* fail-stops the node: its processor halts (rewinding any
  *    op in flight), its cache loses every line, and its home
- *    directory shard re-homes to a configured backup node by a swap
- *    in the shared AddrMap indirection table (a table write, not a
- *    geometry rebuild). The backup reconstructs the shard's directory
- *    state from the surviving caches -- the same sharing information
- *    a real recovery protocol would collect -- while every surviving
- *    directory prunes the dead node from its own bookkeeping. All of
- *    the victim's in-flight traffic is lost: sends are stamped with
- *    the sender's restart epoch and the network drops stale-epoch
- *    messages at delivery; messages *to* the dead node are dropped,
- *    or bounced as a Nack when they are requests, feeding the cache
- *    controllers' bounded timeout-and-retry FSM.
+ *    directory shard re-homes to a backup node by a swap in the
+ *    shared AddrMap indirection table (a table write, not a geometry
+ *    rebuild). The backup installs the shard's directory state either
+ *    from the surviving caches (the default survivor sweep -- the
+ *    same sharing information a real recovery protocol would collect)
+ *    or, with replicateShards, directly from the shard mirror the
+ *    home streamed to it as batched ShardSync deltas during normal
+ *    operation. Every surviving directory prunes the dead node from
+ *    its own bookkeeping. All of the victim's in-flight traffic is
+ *    lost: sends are stamped with the sender's restart epoch and the
+ *    network drops stale-epoch messages at delivery; messages *to*
+ *    the dead node are dropped, or bounced as a Nack when they are
+ *    requests, feeding the cache controllers' bounded
+ *    timeout-and-retry FSM.
+ *  - Several nodes may be down at once, and a backup may itself be
+ *    killed while hosting re-homed shards: every shard the dead
+ *    backup was serving re-homes again to the next live node in a
+ *    deterministic succession order (the first live node after the
+ *    shard's geometric home, wrapping), and reconstruction re-runs
+ *    against the new host.
  *  - A *restart* resumes the victim's processor with a cold cache
- *    (and a bumped epoch, so pre-crash stragglers stay dead). The
- *    directory shard stays at the backup -- there is no fail-back.
+ *    (and a bumped epoch, so pre-crash stragglers stay dead) and
+ *    *fails back*: the victim re-adopts its original directory shard
+ *    through the same indirection table, the interim host releases
+ *    the shard's entries, and in-flight messages still aimed at the
+ *    interim host are screened at delivery (bounced as Nacks when
+ *    they are requests), so the retry FSM re-resolves the home.
  *  - Predictor state at the victim is lost on a kill (restart is
  *    cold) unless the plan enables *warm restart*: the manager then
  *    checkpoints the victim's VMSP every ckptInterval ticks, sending
  *    the replication traffic over the real interconnect (CkptData),
- *    and merges the last checkpoint into the backup's predictor at
- *    kill time -- the replication-cost axis of the fault experiments.
+ *    merges the last checkpoint into the backup's predictor at kill
+ *    time, and into the victim's own predictor again at fail-back --
+ *    the replication-cost axis of the fault experiments.
+ *  - *Lossy links*: the plan may carry a deterministic per-link drop
+ *    schedule ({tick-range, link, drop-every-Nth}). The network's
+ *    transport layer (net/network.hh) recovers each dropped crossing
+ *    with a timeout-and-retransmit, bounded by a retransmit budget
+ *    whose exhaustion is a structured fatal.
  *
  * A machine without a FaultPlan never constructs a FaultManager and
  * runs bit-identically to the pre-fault-layer code.
@@ -38,6 +57,7 @@
 #ifndef MSPDSM_DSM_FAULT_HH
 #define MSPDSM_DSM_FAULT_HH
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -72,6 +92,21 @@ struct FaultEvent
     FaultKind kind = FaultKind::Kill;
 };
 
+/**
+ * One deterministic link-loss rule: while curTick is in [from, to),
+ * every everyNth-th message crossing directed link @p link is
+ * dropped (crossings are counted per rule, in injection order, so
+ * the schedule is exactly repeatable). everyNth == 1 drops every
+ * crossing -- the retransmit-budget-exhaustion path.
+ */
+struct LinkLossRule
+{
+    Tick from = 0;
+    Tick to = maxTick;
+    std::uint32_t link = 0; //!< directed LinkId (topo/topology.hh)
+    unsigned everyNth = 0;  //!< 0 disables the rule
+};
+
 /** A full fault schedule plus its recovery policy. */
 struct FaultPlan
 {
@@ -79,10 +114,12 @@ struct FaultPlan
 
     /**
      * Node adopting a victim's directory shard; invalidNode selects
-     * (victim + 1) % numNodes. Deliberately allowed to equal the
-     * victim: retries then keep bouncing off the dead node until the
-     * cache controller's bounded-retry FSM gives up -- the
-     * retry-exhaustion path the tests exercise.
+     * the deterministic succession order (the first live node after
+     * the victim, wrapping). An explicit backup is honored verbatim
+     * and is deliberately allowed to equal the victim: retries then
+     * keep bouncing off the dead node until the cache controller's
+     * bounded-retry FSM gives up -- the retry-exhaustion path the
+     * tests exercise.
      */
     NodeId backup = invalidNode;
 
@@ -92,7 +129,24 @@ struct FaultPlan
     /** Checkpoint period, ticks; 0 disables checkpointing. */
     Tick ckptInterval = 0;
 
-    bool empty() const { return events.empty(); }
+    /**
+     * Stream incremental directory-shard deltas (batched ShardSync
+     * messages over the real interconnect) from every home to its
+     * designated backup, so failover installs the replicated shard
+     * mirror instead of sweeping the survivors' caches.
+     */
+    bool replicateShards = false;
+
+    /** Deterministic per-link message-drop schedule. */
+    std::vector<LinkLossRule> linkLoss;
+
+    /** Retransmits per message before the transport gives up. */
+    unsigned retransmitBudget = 8;
+
+    /** Ack-timeout before a dropped crossing is retransmitted. */
+    Tick retransmitDelay = 400;
+
+    bool empty() const { return events.empty() && linkLoss.empty(); }
 };
 
 /**
@@ -104,9 +158,10 @@ struct FaultOutcome
 {
     bool faulted = false;      //!< a FaultPlan was configured
 
-    Tick killTick = 0;         //!< last Kill fired
+    Tick killTick = 0;         //!< first Kill fired
     Tick restartTick = 0;      //!< last Restart fired
-    Tick recoveredTick = 0;    //!< victim's first post-restart step
+    Tick recoveredTick = 0;    //!< last victim's first post-restart
+                               //!< step (max over restarted nodes)
 
     std::uint64_t opsAtKill = 0;    //!< machine-wide ops when killed
     std::uint64_t opsAtRestart = 0; //!< ... and when restarted
@@ -120,6 +175,21 @@ struct FaultOutcome
     std::uint64_t ckptSnapshots = 0; //!< predictor checkpoints taken
     std::uint64_t ckptMessages = 0;  //!< CkptData replication messages
     std::uint64_t predLosses = 0;    //!< PredLoss events fired
+
+    // Shard replication (FaultPlan::replicateShards).
+    std::uint64_t shardDeltas = 0; //!< directory deltas mirrored
+    std::uint64_t shardSyncs = 0;  //!< batched ShardSync messages sent
+
+    // Fail-back and the home screen.
+    std::uint64_t failbacks = 0; //!< shards re-adopted at restart
+    std::uint64_t misroutedDropped = 0; //!< non-requests screened at a
+                                        //!< directory that no longer
+                                        //!< hosts the block's shard
+
+    // Transport layer under lossy links (filled from Network).
+    std::uint64_t linkDrops = 0;   //!< crossings dropped by loss rules
+    std::uint64_t retransmits = 0; //!< transport re-sends recovering
+                                   //!< dropped crossings
 
     // Cache-side retry FSM, summed over nodes (system.cc fills these
     // from CacheStats at run end).
@@ -170,11 +240,45 @@ class FaultManager
     /** The currently dead nodes (speculation target filtering). */
     NodeSet deadSet() const { return deadSet_; }
 
+    /**
+     * The node currently serving @p blk's directory shard (geometric
+     * home chased through the live indirection table). The network's
+     * delivery screen compares this against the destination to catch
+     * messages launched before a re-home or fail-back swung the
+     * table.
+     */
+    NodeId
+    currentHome(BlockId blk) const
+    {
+        return remap_[map_.geometricHomeOf(blk)];
+    }
+
     // ---- Delivery-screen accounting (network).
 
     void noteStaleDropped() { ++outcome_.staleDropped; }
     void noteDeadDropped() { ++outcome_.deadDropped; }
     void noteNackSent() { ++outcome_.nacksSent; }
+    void noteMisrouted() { ++outcome_.misroutedDropped; }
+
+    // ---- Shard replication (directories call in; see
+    // ---- Directory::replicate).
+
+    /** True when homes stream shard deltas to their backups. */
+    bool replicating() const { return plan_.replicateShards; }
+
+    /**
+     * A directory transaction left @p blk in a new stable state:
+     * mirror it, and every shardSyncBatch deltas ship one batched
+     * ShardSync message from the block's acting home to its backup
+     * as of tick @p base.
+     *
+     * @param excl true iff the block has an exclusive owner
+     * @param owner the owner when @p excl
+     * @param sharers read-only holders (speculative copies included,
+     *        conservatively) when not @p excl
+     */
+    void noteShardDelta(BlockId blk, bool excl, NodeId owner,
+                        NodeSet sharers, Tick base);
 
     /** A restarted processor's first step() dispatch at tick @p t. */
     void noteProgress(NodeId n, Tick t);
@@ -219,6 +323,20 @@ class FaultManager
     /** The node adopting @p v's shard under this plan. */
     NodeId backupFor(NodeId v) const;
 
+    /**
+     * Deterministic succession order: the first live node after
+     * @p from, wrapping; @p from itself if every other node is dead.
+     */
+    NodeId successor(NodeId from) const;
+
+    /**
+     * Install geometric shard @p h's directory state at dirs_[to] as
+     * of tick @p now: from the replicated mirror when the plan
+     * replicates shards, otherwise by sweeping the surviving caches
+     * (one RehomeSync message per contributing node).
+     */
+    void rehome(NodeId h, NodeId to, Tick now);
+
     /** Machine-wide executed-op total (phase-throughput sampling). */
     std::uint64_t totalOps() const;
 
@@ -245,7 +363,24 @@ class FaultManager
     //! Latest predictor checkpoint per node (warm-restart source).
     std::vector<std::unique_ptr<Vmsp::Snapshot>> ckpts_;
 
-    bool awaitingProgress_ = false; //!< restart fired, no step yet
+    /** Deltas batched into one ShardSync message. */
+    static constexpr unsigned shardSyncBatch = 8;
+
+    /** Replicated view of one directory entry's stable state. */
+    struct MirrorEntry
+    {
+        NodeSet sharers;
+        NodeId owner = invalidNode;
+        bool excl = false;
+    };
+
+    //! Per-geometric-home shard mirrors (replicateShards only;
+    //! ordered maps keep failover installs deterministic).
+    std::vector<std::map<BlockId, MirrorEntry>> mirror_;
+    //! Deltas accumulated per home since the last ShardSync flush.
+    std::vector<unsigned> deltaBacklog_;
+
+    NodeSet awaiting_; //!< restarted nodes with no step dispatch yet
     FaultOutcome outcome_;
 };
 

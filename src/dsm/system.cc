@@ -64,7 +64,8 @@ DsmSystem::DsmSystem(const DsmConfig &cfg)
     }
 
     for (unsigned i = 0; i < n; ++i) {
-        caches_.emplace_back(NodeId(i), eq_, *net_, cfg_.proto);
+        caches_.emplace_back(NodeId(i), eq_, *net_, cfg_.proto)
+            .setRetryPolicy(cfg_.retryLimit, cfg_.staleTimeout);
         // Passive observers see the arrival-ordered message stream;
         // the speculation-driving VMSP is fed separately by the
         // directory in service order (see Directory::specObserve).
@@ -185,6 +186,8 @@ DsmSystem::run(const CompiledWorkload &w)
         }
         for (std::size_t i = 0; i < dirs_.size(); ++i)
             r.fault.dirAborts += dirs_[i].stats().faultAborts.value();
+        r.fault.linkDrops = net_->linkDrops();
+        r.fault.retransmits = net_->retransmits();
     }
 
     double wait_sum = 0.0;

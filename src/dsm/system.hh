@@ -73,6 +73,15 @@ struct DsmConfig
      * pre-fault-layer code.
      */
     FaultPlan faults;
+
+    /**
+     * Bounded-retry FSM policy (CacheCtrl; active only in fault
+     * runs). The defaults reproduce the previously hard-coded 16
+     * retries / 20k-cycle stale timeout bit for bit; fig11 sweeps
+     * them via --retry-limit/--stale-timeout.
+     */
+    unsigned retryLimit = 16;  //!< retries before the fatal
+    Tick staleTimeout = 20000; //!< silence before a re-issue
 };
 
 /** Per-observer accuracy/storage results. */

@@ -50,6 +50,29 @@ struct ExperimentConfig
     bool warmRestart = false;
     /** Predictor checkpoint period, ticks; 0 disables. */
     Tick ckptInterval = 0;
+
+    // ---- PR 8 robustness knobs. Each default keeps the run
+    // bit-identical to one that never heard of the flag.
+
+    /** Stream directory-shard deltas to the backup (ShardSync). */
+    bool replicateShards = false;
+    /** Cache retry FSM bound (--retry-limit). */
+    unsigned retryLimit = 16;
+    /** Cache stale-request re-issue timeout (--stale-timeout). */
+    Tick staleTimeout = 20000;
+    /**
+     * Additional fault events beyond the legacy failNode scalars
+     * (--kill N@T / --restart N@T, repeatable): concurrent and
+     * cascading failures. Any entry here builds a fault plan even if
+     * failNode is unset.
+     */
+    std::vector<FaultEvent> extraFaults;
+    /** Deterministic link-loss schedule (--lossy-link). */
+    std::vector<LinkLossRule> linkLoss;
+    /** Transmissions allowed per message under loss. */
+    unsigned retransmitBudget = 8;
+    /** Drop-to-reinjection latency, ticks. */
+    Tick retransmitDelay = 400;
 };
 
 /**

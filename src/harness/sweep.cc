@@ -262,6 +262,15 @@ SweepRunner::writeJson(std::ostream &os, const std::string &tool)
            << ", \"timeouts\": " << res.fault.timeouts
            << ", \"stale_fills\": " << res.fault.staleFills
            << ", \"dir_aborts\": " << res.fault.dirAborts
+           // Robustness-layer counters (shard replication, fail-back,
+           // lossy-link transport); same uniform always-emitted rule.
+           << ", \"shard_deltas\": " << res.fault.shardDeltas
+           << ", \"shard_syncs\": " << res.fault.shardSyncs
+           << ", \"failbacks\": " << res.fault.failbacks
+           << ", \"misrouted_dropped\": "
+           << res.fault.misroutedDropped
+           << ", \"link_drops\": " << res.fault.linkDrops
+           << ", \"retransmits\": " << res.fault.retransmits
            << ", \"seconds\": " << r.seconds << "}"
            << (i + 1 < records_.size() ? "," : "") << "\n";
     }

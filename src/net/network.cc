@@ -86,6 +86,27 @@ Network::deliver(const CohMsg &msg, Tick base)
             }
             return;
         }
+        if (routesToDirectory(msg.type) &&
+            faults_->currentHome(msg.blk) != msg.dst) {
+            // Home screen: the indirection table swung (re-home,
+            // cascade, or fail-back) while this message was in
+            // flight, so the destination directory no longer hosts
+            // the block's shard. Requests bounce (the sender's retry
+            // FSM re-resolves the home); acks and writebacks for the
+            // abandoned transaction vanish.
+            if (isRequest(msg.type)) {
+                faults_->noteNackSent();
+                CohMsg nack;
+                nack.type = MsgType::Nack;
+                nack.src = msg.dst;
+                nack.dst = msg.src;
+                nack.blk = msg.blk;
+                sendAt(base, nack);
+            } else {
+                faults_->noteMisrouted();
+            }
+            return;
+        }
     }
     const Sink &s = sinks_[msg.dst];
     if (s.cache) [[likely]] {
@@ -104,12 +125,18 @@ Network::deliver(const CohMsg &msg, Tick base)
 void
 Network::sendAt(Tick base, CohMsg msg)
 {
+    sendImpl(base, msg, 0);
+}
+
+void
+Network::sendImpl(Tick base, CohMsg msg, unsigned attempt)
+{
     panic_if(msg.src >= cfg_.numNodes || msg.dst >= cfg_.numNodes,
              "send: bad endpoints in ", msg.toString());
     panic_if(!sinks_[msg.dst].attached(), "send: node ", msg.dst,
              " has no sink");
     panic_if(base < eq_.curTick(), "sendAt: base tick in the past");
-    if (faults_) [[unlikely]]
+    if (faults_ && attempt == 0) [[unlikely]]
         msg.srcEpoch = faults_->epoch(msg.src);
     sent_.inc();
 
@@ -177,6 +204,16 @@ Network::sendAt(Tick base, CohMsg msg)
             const Tick start = std::max(head, linkFree_[ls[h]]);
             linkQueued_.inc(start - head);
             linkFree_[ls[h]] = start + occ;
+            if (loss_ && lossDropped(ls[h], start)) [[unlikely]] {
+                // The transmission occupied every link up to and
+                // including the drop point; those reservations stand.
+                // It never arrives, so no jitter draw and no pair-FIFO
+                // clamp -- point-to-point order across a drop is NOT
+                // preserved, which is exactly the reordering the
+                // epoch/Nack-retry FSMs must already tolerate.
+                dropTransmission(msg, attempt, start);
+                return;
+            }
             head = start + lat;
         }
     }
@@ -199,6 +236,95 @@ Network::sendAt(Tick base, CohMsg msg)
     // exact firing order of the retired per-message arrival events --
     // and delivers; no per-message event is scheduled at all.
     pushIngress(msg.dst, arrival, msg);
+}
+
+void
+Network::setLinkLoss(const std::vector<LinkLossRule> &rules,
+                     unsigned budget, Tick delay)
+{
+    if (rules.empty())
+        return;
+    fatal_if(topo_.numLinks() == 0,
+             "link-loss rules need a link topology; the crossbar has "
+             "no shared links to drop on");
+    fatal_if(budget == 0, "transport retransmit budget must be >= 1");
+    fatal_if(delay == 0, "transport retransmit delay must be >= 1");
+    loss_ = std::make_unique<LossState>();
+    loss_->budget = budget;
+    loss_->delay = delay;
+    loss_->rules.reserve(rules.size());
+    for (const LinkLossRule &r : rules) {
+        fatal_if(r.everyNth == 0,
+                 "link-loss rule with everyNth == 0 (use no rule "
+                 "instead of a never-firing one)");
+        fatal_if(r.link >= topo_.numLinks(), "link-loss rule names "
+                 "link ", r.link, " but the topology has only ",
+                 topo_.numLinks());
+        fatal_if(r.from >= r.to, "link-loss rule window [", r.from,
+                 ", ", r.to, ") is empty");
+        loss_->rules.push_back({r.from, r.to, r.link, r.everyNth});
+    }
+}
+
+std::uint64_t
+Network::linkDrops() const
+{
+    return loss_ ? loss_->drops.value() : 0;
+}
+
+std::uint64_t
+Network::retransmits() const
+{
+    return loss_ ? loss_->resends.value() : 0;
+}
+
+bool
+Network::lossDropped(std::uint32_t link, Tick start)
+{
+    bool drop = false;
+    for (LossState::Rule &r : loss_->rules) {
+        if (r.link != link || start < r.from || start >= r.to)
+            continue;
+        if (++r.crossings % r.everyNth == 0)
+            drop = true;
+    }
+    return drop;
+}
+
+void
+Network::dropTransmission(const CohMsg &msg, unsigned attempt, Tick when)
+{
+    loss_->drops.inc();
+    fatal_if(attempt + 1 >= loss_->budget,
+             "transport: retransmit budget (", loss_->budget,
+             ") exhausted for ", msg.toString(),
+             " -- the loss schedule starves this flow");
+    RetransmitEvent *ev = loss_->freeList;
+    if (ev)
+        loss_->freeList = ev->nextFree;
+    else
+        ev = &loss_->pool.emplace_back();
+    ev->net = this;
+    ev->msg = msg;
+    ev->attempt = attempt + 1;
+    eq_.schedule(when + loss_->delay, *ev);
+}
+
+void
+Network::RetransmitEvent::process()
+{
+    net->retransmitFired(*this);
+}
+
+void
+Network::retransmitFired(RetransmitEvent &ev)
+{
+    const CohMsg msg = ev.msg;
+    const unsigned attempt = ev.attempt;
+    ev.nextFree = loss_->freeList;
+    loss_->freeList = &ev;
+    loss_->resends.inc();
+    sendImpl(eq_.curTick(), msg, attempt);
 }
 
 void

@@ -26,6 +26,8 @@
 #ifndef MSPDSM_NET_NETWORK_HH
 #define MSPDSM_NET_NETWORK_HH
 
+#include <deque>
+#include <memory>
 #include <vector>
 
 #include "base/random.hh"
@@ -41,6 +43,7 @@ namespace mspdsm
 class CacheCtrl;
 class Directory;
 class FaultManager;
+struct LinkLossRule;
 
 /**
  * The interconnect. Owns no protocol state; it only moves CohMsg
@@ -137,6 +140,27 @@ class Network
     {
         return ingress_[n].pq.size() + ingress_[n].ready.size();
     }
+
+    /**
+     * Configure deterministic link loss plus the transport recovery
+     * layer that makes it survivable (fault runs only; the rules come
+     * from FaultPlan::linkLoss). Each rule drops every Nth message
+     * head crossing one directed link inside a tick window; a dropped
+     * transmission is re-injected at its source after @p delay cycles
+     * and re-pays the full egress/link/ingress path. A message that
+     * exceeds @p budget transmissions is fatal -- the schedule is a
+     * test input, not weather, so exhaustion means the experiment is
+     * misconfigured. Never call this on a fault-free run: the member
+     * stays null and every send takes the unchecked path.
+     */
+    void setLinkLoss(const std::vector<LinkLossRule> &rules,
+                     unsigned budget, Tick delay);
+
+    /** Transmissions dropped by the loss schedule (0 when inert). */
+    std::uint64_t linkDrops() const;
+
+    /** Re-injections performed by the transport layer. */
+    std::uint64_t retransmits() const;
 
   private:
     /**
@@ -403,6 +427,75 @@ class Network
         return delivered;
     }
 
+    /**
+     * One scheduled re-injection of a dropped transmission. Pooled
+     * (with a free list) like the local-delivery events: loss runs
+     * reach a steady state where the pool stops growing.
+     */
+    struct RetransmitEvent final : public Event
+    {
+        void process() override;
+
+        Network *net = nullptr;
+        CohMsg msg{};
+        unsigned attempt = 0; //!< transmissions already burned
+        RetransmitEvent *nextFree = nullptr;
+    };
+
+    /**
+     * The loss schedule and the transport state recovering from it.
+     * Allocated only by setLinkLoss; the null pointer is the
+     * fault-free inertness guarantee (one branch per hop, no
+     * arithmetic change).
+     */
+    struct LossState
+    {
+        /** A LinkLossRule plus its live crossing counter. */
+        struct Rule
+        {
+            Tick from;
+            Tick to;
+            std::uint32_t link;
+            unsigned everyNth;
+            std::uint64_t crossings = 0; //!< matched heads so far
+        };
+
+        std::vector<Rule> rules;
+        unsigned budget = 8; //!< max transmissions per message
+        Tick delay = 400;    //!< drop-to-reinjection latency
+        std::deque<RetransmitEvent> pool;
+        RetransmitEvent *freeList = nullptr;
+        Counter drops;
+        Counter resends;
+    };
+
+    /**
+     * The shared sendAt body. @p attempt counts transmissions already
+     * burned on this message: 0 from the public entry points, >= 1
+     * from the retransmit path. Every transmission re-pays egress and
+     * link occupancy and counts toward messagesSent() -- retries are
+     * real traffic.
+     */
+    void sendImpl(Tick base, CohMsg msg, unsigned attempt);
+
+    /**
+     * Does the loss schedule claim the head crossing @p link at
+     * @p start? Walks every matching rule (advancing each crossing
+     * counter) so overlapping rules stay deterministic regardless of
+     * which one fires.
+     */
+    bool lossDropped(std::uint32_t link, Tick start);
+
+    /**
+     * Account a drop at @p when and schedule the re-injection, or die
+     * if the budget is spent. The links reserved up to and including
+     * the drop point stay booked -- the transmission occupied them.
+     */
+    void dropTransmission(const CohMsg &msg, unsigned attempt, Tick when);
+
+    /** Re-inject a dropped message from its source NI. */
+    void retransmitFired(RetransmitEvent &ev);
+
     /** RAII depth guard for an inline (fused) delivery. */
     struct FuseScope
     {
@@ -441,6 +534,7 @@ class Network
     std::size_t localHead_ = 0; //!< first unflushed localQ_ entry
     LocalFlushEvent localFlush_;
     FaultManager *faults_ = nullptr; //!< fault layer; null = fault-free
+    std::unique_ptr<LossState> loss_; //!< null = lossless (the default)
     unsigned fuseDepth_ = 0; //!< live inline deliveries on the stack
     NodeId draining_ = noNode; //!< node whose drain loop is on stack
     std::uint64_t pushSeq_ = 0; //!< global arrival-tie sequencer

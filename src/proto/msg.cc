@@ -39,6 +39,8 @@ msgTypeName(MsgType t)
         return "RehomeSync";
       case MsgType::CkptData:
         return "CkptData";
+      case MsgType::ShardSync:
+        return "ShardSync";
     }
     panic("unknown MsgType ", int(t));
 }

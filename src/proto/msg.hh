@@ -48,6 +48,7 @@ enum class MsgType : std::uint8_t
     Nack,       //!< request bounced off a dead node; retry at sender
     RehomeSync, //!< directory-reconstruction sync, cache -> backup home
     CkptData,   //!< predictor checkpoint replication, victim -> backup
+    ShardSync,  //!< batched directory-shard delta, home -> backup
 };
 
 /** @return mnemonic name of a message type. */

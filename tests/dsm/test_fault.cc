@@ -67,6 +67,12 @@ expectIdentical(const RunResult &a, const RunResult &b)
     EXPECT_EQ(a.fault.timeouts, b.fault.timeouts);
     EXPECT_EQ(a.fault.staleFills, b.fault.staleFills);
     EXPECT_EQ(a.fault.dirAborts, b.fault.dirAborts);
+    EXPECT_EQ(a.fault.shardDeltas, b.fault.shardDeltas);
+    EXPECT_EQ(a.fault.shardSyncs, b.fault.shardSyncs);
+    EXPECT_EQ(a.fault.failbacks, b.fault.failbacks);
+    EXPECT_EQ(a.fault.misroutedDropped, b.fault.misroutedDropped);
+    EXPECT_EQ(a.fault.linkDrops, b.fault.linkDrops);
+    EXPECT_EQ(a.fault.retransmits, b.fault.retransmits);
 }
 
 } // namespace
@@ -89,6 +95,12 @@ TEST(Fault, UnconfiguredRunCarriesNoFaultState)
     EXPECT_EQ(r.fault.staleFills, 0u);
     EXPECT_EQ(r.fault.dirAborts, 0u);
     EXPECT_EQ(r.fault.opsAtEnd, 0u);
+    EXPECT_EQ(r.fault.shardDeltas, 0u);
+    EXPECT_EQ(r.fault.shardSyncs, 0u);
+    EXPECT_EQ(r.fault.failbacks, 0u);
+    EXPECT_EQ(r.fault.misroutedDropped, 0u);
+    EXPECT_EQ(r.fault.linkDrops, 0u);
+    EXPECT_EQ(r.fault.retransmits, 0u);
 }
 
 TEST(Fault, KillAndRecoveryBookkeeping)
@@ -180,6 +192,145 @@ TEST(Fault, BaseDsmSurvivesTheFaultToo)
     EXPECT_EQ(r.fault.ckptSnapshots, 0u);
 }
 
+TEST(Fault, RetryKnobDefaultsAreBitIdentical)
+{
+    // Satellite: the bounded-retry FSM constants moved from
+    // compile-time to DsmConfig. Passing the old constants explicitly
+    // must be indistinguishable from not passing them at all.
+    ExperimentConfig explicitKnobs = tiny();
+    explicitKnobs.retryLimit = 16;
+    explicitKnobs.staleTimeout = 20000;
+    const RunResult a =
+        runSpec("em3d", SpecMode::SwiFirstRead, tiny());
+    const RunResult b =
+        runSpec("em3d", SpecMode::SwiFirstRead, explicitKnobs);
+    expectIdentical(a, b);
+    EXPECT_EQ(b.execTicks, 120022u); // still the golden run
+    EXPECT_EQ(b.messages, 1984u);
+}
+
+TEST(Fault, ShardReplicationAvoidsTheSurvivorSweep)
+{
+    // With --replicate-shards the backup installs the streamed mirror
+    // at failover: replication traffic (batched ShardSync) replaces
+    // reconstruction traffic (RehomeSync) entirely, and the cost
+    // moves from the outage into normal operation.
+    ExperimentConfig ec = faulted();
+    ec.replicateShards = true;
+    const RunResult r =
+        runSpec("em3d", SpecMode::SwiFirstRead, ec);
+    EXPECT_EQ(r.status, RunStatus::Completed);
+    EXPECT_GT(r.fault.shardDeltas, 0u);
+    EXPECT_GT(r.fault.shardSyncs, 0u);
+    EXPECT_EQ(r.fault.rehomeSyncs, 0u);
+    // Deltas batch 8-to-a-message, so syncs stay well below deltas.
+    EXPECT_LT(r.fault.shardSyncs, r.fault.shardDeltas);
+
+    const RunResult again =
+        runSpec("em3d", SpecMode::SwiFirstRead, ec);
+    expectIdentical(r, again);
+}
+
+TEST(Fault, ConcurrentFailuresCascadeThroughSuccession)
+{
+    // Two overlapping outages: node 4 is node 3's successor, so when
+    // 4 dies while hosting 3's shard, both shards cascade to the next
+    // live node. Each restart then fail-backs its own shard.
+    ExperimentConfig ec = tiny();
+    ec.extraFaults = {{40000, 3, FaultKind::Kill},
+                      {42000, 4, FaultKind::Kill},
+                      {70000, 3, FaultKind::Restart},
+                      {72000, 4, FaultKind::Restart}};
+    const RunResult r =
+        runSpec("em3d", SpecMode::SwiFirstRead, ec);
+    EXPECT_EQ(r.status, RunStatus::Completed);
+    EXPECT_TRUE(r.fault.faulted);
+    EXPECT_EQ(r.fault.killTick, 40000u);    // first kill
+    EXPECT_EQ(r.fault.restartTick, 72000u); // last restart
+    // recoveredTick is the max over both victims' first steps.
+    EXPECT_GE(r.fault.recoveredTick, 72000u);
+    EXPECT_EQ(r.fault.failbacks, 2u);
+    EXPECT_GT(r.fault.opsAtEnd, r.fault.opsAtRestart);
+
+    const RunResult again =
+        runSpec("em3d", SpecMode::SwiFirstRead, ec);
+    expectIdentical(r, again);
+}
+
+TEST(Fault, RestartInsideTheRehomeWindow)
+{
+    // Satellite edge case: the victim restarts while the backup's
+    // reconstruction RehomeSync messages are still in flight. The
+    // epoch bump plus the home screen (stale copies bound for the
+    // interim host are Nacked or dropped) keep the run live and
+    // deterministic.
+    ExperimentConfig ec = tiny();
+    ec.failNode = 3;
+    ec.failTick = 40000;
+    ec.recoverTick = 40100; // inside the sync/retry storm
+    const RunResult r =
+        runSpec("em3d", SpecMode::SwiFirstRead, ec);
+    EXPECT_EQ(r.status, RunStatus::Completed);
+    EXPECT_EQ(r.fault.failbacks, 1u);
+    EXPECT_GT(r.fault.opsAtEnd, r.fault.opsAtKill);
+
+    const RunResult again =
+        runSpec("em3d", SpecMode::SwiFirstRead, ec);
+    expectIdentical(r, again);
+}
+
+TEST(Fault, LossyLinksRetransmitDeterministically)
+{
+    // A loss-only plan (no kills): every third head crossing link 0
+    // of the mesh drops and is retransmitted. The run completes, the
+    // transport accounts one re-send per drop, and the whole thing is
+    // bit-repeatable.
+    ExperimentConfig ec = tiny();
+    ec.topo.kind = TopoKind::Mesh2D;
+    ec.linkLoss = {{0, maxTick, 0, 3}};
+    const RunResult r =
+        runSpec("em3d", SpecMode::SwiFirstRead, ec);
+    EXPECT_EQ(r.status, RunStatus::Completed);
+    EXPECT_TRUE(r.fault.faulted);
+    EXPECT_GT(r.fault.linkDrops, 0u);
+    EXPECT_EQ(r.fault.retransmits, r.fault.linkDrops);
+
+    const RunResult again =
+        runSpec("em3d", SpecMode::SwiFirstRead, ec);
+    expectIdentical(r, again);
+}
+
+TEST(Fault, ChaosRunIsJobCountInvariant)
+{
+    // The acceptance scenario: two concurrent failures plus a lossy
+    // link on a link topology, swept serially and with eight workers.
+    auto build = [](unsigned jobs) {
+        SweepOptions so;
+        so.jobs = jobs;
+        SweepRunner sweep(so);
+        for (const bool repl : {false, true}) {
+            ExperimentConfig ec = tiny();
+            ec.topo.kind = TopoKind::Mesh2D;
+            ec.extraFaults = {{40000, 3, FaultKind::Kill},
+                              {42000, 4, FaultKind::Kill},
+                              {70000, 3, FaultKind::Restart},
+                              {72000, 4, FaultKind::Restart}};
+            ec.linkLoss = {{0, maxTick, 0, 5}};
+            ec.replicateShards = repl;
+            sweep.addSpec("em3d", SpecMode::None, ec);
+            sweep.addSpec("em3d", SpecMode::SwiFirstRead, ec);
+        }
+        return sweep.results();
+    };
+    const std::vector<SweepRecord> serial = build(1);
+    const std::vector<SweepRecord> parallel = build(8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].label, parallel[i].label);
+        expectIdentical(serial[i].result, parallel[i].result);
+    }
+}
+
 using FaultDeathTest = ::testing::Test;
 
 TEST(FaultDeathTest, RetryExhaustionIsFatal)
@@ -193,4 +344,33 @@ TEST(FaultDeathTest, RetryExhaustionIsFatal)
     ec.backupNode = 3;  // deliberately pathological: no live home
     EXPECT_EXIT(runSpec("em3d", SpecMode::None, ec),
                 ::testing::ExitedWithCode(1), "exhausted");
+}
+
+TEST(FaultDeathTest, RetryExhaustionDuringOverlappingOutage)
+{
+    // Satellite edge case: the explicit backup itself dies during the
+    // first outage. The explicit --backup-node is honored verbatim
+    // (succession only applies to the *default* backup choice), so
+    // shard 4 -- and shard 3 hosted on it -- have no live home and
+    // the bounded retry FSM must still fail structurally, now with a
+    // configurable --retry-limit to reach the exit quickly.
+    ExperimentConfig ec = tiny();
+    ec.extraFaults = {{5000, 3, FaultKind::Kill},
+                      {5200, 4, FaultKind::Kill}};
+    ec.backupNode = 4;
+    ec.retryLimit = 6;
+    EXPECT_EXIT(runSpec("em3d", SpecMode::None, ec),
+                ::testing::ExitedWithCode(1), "exhausted");
+}
+
+TEST(FaultDeathTest, RetransmitBudgetExhaustionIsFatal)
+{
+    // everyNth == 1 drops *every* crossing of link 0: the first
+    // message routed over it burns its whole transport budget and
+    // the run dies with the structured transport fatal.
+    ExperimentConfig ec = tiny();
+    ec.topo.kind = TopoKind::Mesh2D;
+    ec.linkLoss = {{0, maxTick, 0, 1}};
+    EXPECT_EXIT(runSpec("em3d", SpecMode::None, ec),
+                ::testing::ExitedWithCode(1), "retransmit budget");
 }
