@@ -34,6 +34,7 @@
 #include <sys/resource.h>
 #endif
 
+#include "base/logging.hh"
 #include "harness/experiment.hh"
 #include "harness/sweep.hh"
 #include "topo/topology.hh"
@@ -105,6 +106,16 @@ printUsage(std::ostream &os, const char *tool, const char *what)
        << "               means forever). Dropped transmissions are\n"
        << "               retransmitted after a fixed delay from a\n"
        << "               bounded budget\n"
+       << "  --trace FILE[,FROM,TO]  write a Chrome trace-event JSON\n"
+       << "               of every run to FILE (load in Perfetto /\n"
+       << "               chrome://tracing), optionally limited to\n"
+       << "               the tick window [FROM,TO] (TO = 0 means\n"
+       << "               open-ended). Forces --jobs 1\n"
+       << "  --sample-interval N  record an interval time-series\n"
+       << "               sample (throughput, messages, predictor\n"
+       << "               hits, outstanding misses) every N ticks\n"
+       << "               into the JSON record (0 = off)\n"
+       << "  --verbose    enable verbose() diagnostics on stderr\n"
        << "  --jobs N     parallel runs; 0 = all hardware threads\n"
        << "               (default 1 = serial; results are\n"
        << "               bit-identical either way)\n"
@@ -222,6 +233,36 @@ parseArgs(int argc, char **argv, const char *tool, const char *what)
             if (r.to == 0) // 0 = open-ended window
                 r.to = maxTick;
             a.ec.linkLoss.push_back(r);
+        } else if (!std::strcmp(arg, "--trace")) {
+            const char *s = value(i);
+            const char *comma = std::strchr(s, ',');
+            if (!comma) {
+                a.ec.tracePath = s;
+            } else {
+                a.ec.tracePath.assign(s, comma - s);
+                char *p = nullptr;
+                a.ec.traceFrom = std::strtoull(comma + 1, &p, 10);
+                bool ok = p && *p == ',';
+                if (ok)
+                    a.ec.traceTo = std::strtoull(p + 1, &p, 10);
+                if (!ok || (p && *p != '\0')) {
+                    std::cerr << tool << ": --trace expects "
+                              << "FILE[,FROM,TO], got '" << s << "'\n";
+                    std::exit(2);
+                }
+                if (a.ec.traceTo == 0) // 0 = open-ended window
+                    a.ec.traceTo = maxTick;
+            }
+            if (a.ec.tracePath.empty()) {
+                std::cerr << tool
+                          << ": --trace needs a file name\n";
+                std::exit(2);
+            }
+        } else if (!std::strcmp(arg, "--sample-interval")) {
+            a.ec.sampleInterval = std::strtoull(value(i), nullptr, 10);
+        } else if (!std::strcmp(arg, "--verbose") ||
+                   !std::strcmp(arg, "-v")) {
+            setLogVerbosity(1);
         } else if (!std::strcmp(arg, "--jobs") ||
                    !std::strcmp(arg, "-j")) {
             a.jobs = static_cast<unsigned>(std::atoi(value(i)));
@@ -246,6 +287,12 @@ parseArgs(int argc, char **argv, const char *tool, const char *what)
                       << " (try --help)\n";
             std::exit(2);
         }
+    }
+    if (!a.ec.tracePath.empty() && a.jobs != 1) {
+        // Every traced run in a sweep writes to the same file; the
+        // last writer wins, which only makes sense serially.
+        std::cerr << tool << ": --trace forces --jobs 1\n";
+        a.jobs = 1;
     }
     return a;
 }

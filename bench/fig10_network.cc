@@ -107,7 +107,8 @@ main(int argc, char **argv)
                 "network's Base-DSM)\n\n");
 
     Table t({"topology", "procs", "link", "base ticks", "SWI ticks",
-             "time %", "req wait %", "link queue", "ev/msg"});
+             "time %", "req wait %", "link queue", "ev/msg",
+             "miss p99"});
     for (const Cell &c : cells) {
         const RunResult &base = sweep.result(c.base);
         const RunResult &swi = sweep.result(c.swi);
@@ -132,7 +133,12 @@ main(int argc, char **argv)
                   // close the batched NI drain holds the transport to
                   // its one-event-per-delivery floor as the fabric
                   // slows and contention grows.
-                  Table::fmt(swi.eventsPerMessage(), 2)});
+                  Table::fmt(swi.eventsPerMessage(), 2),
+                  // Demand-miss latency tail of the SWI run (always-on
+                  // histograms): stretches with hop count and link
+                  // latency, and under --lossy-link with retransmit
+                  // round trips.
+                  Table::fmt(swi.missLatP99, 0)});
     }
     t.print(std::cout);
     return bench::finishSweep(sweep, args, "fig10_network");

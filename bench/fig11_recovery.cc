@@ -87,6 +87,13 @@ main(int argc, char **argv)
         args.ec.recoverTick ? args.ec.recoverTick : 70000;
     const Tick ckptInterval =
         args.ec.ckptInterval ? args.ec.ckptInterval : failTick / 4;
+    // Interval time-series on by default here: fig11 is the bench
+    // whose per-run records must visibly bracket the outage (the
+    // throughput dip between kill and restart). --sample-interval
+    // overrides; an eighth of the pre-kill phase gives several
+    // samples on each side of both fault edges.
+    if (!args.ec.sampleInterval)
+        args.ec.sampleInterval = failTick / 8;
 
     // Topology axis: the paper's crossbar plus a link-contended
     // fabric, unless --topology narrows it.
@@ -160,7 +167,8 @@ main(int argc, char **argv)
 
     Table t({"topology", "restart", "shards", "recover",
              "speedup before", "during", "after", "rehome",
-             "shard syncs", "ckpt msgs", "retries", "link queue"});
+             "shard syncs", "ckpt msgs", "retries", "link queue",
+             "base p99", "SWI p99"});
     for (const Cell &c : cells) {
         const RunResult &base = sweep.result(c.base);
         const RunResult &swi = sweep.result(c.swi);
@@ -190,7 +198,12 @@ main(int argc, char **argv)
                   Table::fmt(sf.rehomeSyncs),
                   Table::fmt(sf.shardSyncs),
                   Table::fmt(sf.ckptMessages), Table::fmt(sf.retries),
-                  Table::fmt(swi.linkQueueingCycles)});
+                  Table::fmt(swi.linkQueueingCycles),
+                  // Demand-miss latency tail (always-on histograms):
+                  // the outage's retry backoffs and re-homed misses
+                  // stretch it far beyond a fault-free run's p99.
+                  Table::fmt(base.missLatP99, 0),
+                  Table::fmt(swi.missLatP99, 0)});
         // Both runs of a cell share the plan; a drifting boundary
         // would mean the fault layer broke determinism.
         if (bf.killTick != sf.killTick ||

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file written by --trace.
+
+Checks, against the trace the obs layer (src/obs/obs.cc) emits:
+
+ 1. the file is valid JSON of the object form {"traceEvents": [...]};
+ 2. duration events balance: every B has its E on the same (pid, tid)
+    track, in order, and tracks end at depth 0 (the simulator has one
+    MSHR per node, so spans on a track must not nest either);
+ 3. flow events pair: every flow id carries exactly one start (ph s)
+    and one finish (ph f), and the finish does not precede the start;
+ 4. timestamps are non-negative, and with --from/--to given, every
+    event's ts (and ts+dur for X spans) lies inside the window --
+    the emitter filters at completion time, so a windowed trace must
+    contain no out-of-window residue at all;
+ 5. metadata records (ph M) are exempt from 2-4 but must name a track.
+
+Exit status: 0 ok, 1 validation failure, 2 usage error.
+
+CI runs this on the trace a smoke-scale fig11 run writes, so the
+emitter cannot silently drift away from the trace-event contract that
+Perfetto / chrome://tracing loads.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Validate a --trace Chrome trace-event JSON file.")
+    ap.add_argument("trace", help="trace JSON to check")
+    ap.add_argument("--from", dest="lo", type=int, default=None,
+                    help="expected lower bound of every event ts")
+    ap.add_argument("--to", dest="hi", type=int, default=None,
+                    help="expected upper bound of every event ts")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="fail if fewer non-metadata events (default 1)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot read {args.trace}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail("top level is not {\"traceEvents\": [...]}")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail("'traceEvents' is not a list")
+
+    errs = []
+    depth = {}        # (pid, tid) -> open span count
+    flow_start = {}   # flow id -> start ts
+    flow_done = set()
+    counted = 0
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            errs.append(f"{where}: not an object")
+            continue
+        ph = e.get("ph")
+        name = e.get("name")
+        if not isinstance(name, str) or not name:
+            errs.append(f"{where}: bad name {name!r}")
+        if ph == "M":
+            if "args" not in e or "name" not in e["args"]:
+                errs.append(f"{where}: metadata without args.name")
+            continue
+        counted += 1
+        ts = e.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            errs.append(f"{where}: bad ts {ts!r}")
+            continue
+        end = ts
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                errs.append(f"{where}: X span with bad dur {dur!r}")
+            else:
+                end = ts + dur
+        if args.lo is not None and ts < args.lo:
+            errs.append(f"{where}: ts {ts} below window {args.lo}")
+        if args.hi is not None and end > args.hi:
+            errs.append(f"{where}: ts {end} above window {args.hi}")
+        track = (e.get("pid"), e.get("tid"))
+        if ph == "B":
+            if depth.get(track, 0) != 0:
+                errs.append(f"{where}: nested B on track {track}")
+            depth[track] = depth.get(track, 0) + 1
+        elif ph == "E":
+            if depth.get(track, 0) < 1:
+                errs.append(f"{where}: E without B on track {track}")
+            depth[track] = depth.get(track, 0) - 1
+        elif ph in ("s", "f"):
+            fid = e.get("id")
+            if not isinstance(fid, int):
+                errs.append(f"{where}: flow without id")
+            elif ph == "s":
+                if fid in flow_start:
+                    errs.append(f"{where}: flow id {fid} started twice")
+                flow_start[fid] = ts
+            else:
+                if fid not in flow_start:
+                    errs.append(f"{where}: flow id {fid} finished "
+                                f"before starting")
+                elif ts < flow_start[fid]:
+                    errs.append(f"{where}: flow id {fid} finishes at "
+                                f"{ts} before its start "
+                                f"{flow_start[fid]}")
+                elif fid in flow_done:
+                    errs.append(f"{where}: flow id {fid} finished "
+                                f"twice")
+                flow_done.add(fid)
+        elif ph not in ("i", "X"):
+            errs.append(f"{where}: unexpected ph {ph!r}")
+
+    for track, d in depth.items():
+        if d != 0:
+            errs.append(f"track {track}: {d} unbalanced span(s)")
+    for fid in set(flow_start) - flow_done:
+        errs.append(f"flow id {fid}: started but never finished")
+    if counted < args.min_events:
+        errs.append(f"only {counted} event(s), expected at least "
+                    f"{args.min_events}")
+
+    for e in errs:
+        print(f"check_trace: {e}", file=sys.stderr)
+    if errs:
+        return fail(f"{args.trace} is not a valid trace")
+    print(f"check_trace: {args.trace} validates "
+          f"({counted} events, {len(flow_done)} flows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

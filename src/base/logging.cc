@@ -36,4 +36,29 @@ informImpl(const std::string &msg)
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 
+namespace
+{
+
+int g_verbosity = 0;
+
+} // namespace
+
+void
+verboseImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "verbose: %s\n", msg.c_str());
+}
+
+int
+logVerbosity()
+{
+    return g_verbosity;
+}
+
+void
+setLogVerbosity(int level)
+{
+    g_verbosity = level;
+}
+
 } // namespace mspdsm

@@ -35,6 +35,19 @@ void warnImpl(const std::string &msg);
 /** Internal: print an informational message to stdout. */
 void informImpl(const std::string &msg);
 
+/** Internal: print a verbose diagnostic to stderr. */
+void verboseImpl(const std::string &msg);
+
+/**
+ * Global log verbosity: 0 (the default) silences verbose(); any
+ * higher level enables it. Wired to the uniform bench CLI via
+ * --verbose (bench/bench_common.hh).
+ */
+int logVerbosity();
+
+/** Set the global log verbosity. */
+void setLogVerbosity(int level);
+
 /**
  * Build a message string from a variadic pack via operator<<.
  * Used by the panic/fatal/warn/inform macros below.
@@ -67,6 +80,18 @@ concatMessage(Args &&...args)
 /** Report simulation status. */
 #define inform(...) \
     ::mspdsm::informImpl(::mspdsm::concatMessage(__VA_ARGS__))
+
+/**
+ * Verbose diagnostic, printed to stderr only when the global
+ * verbosity is raised (--verbose). Arguments are not evaluated when
+ * verbosity is off, so verbose() calls are free on quiet runs; stderr
+ * keeps the stdout byte-identity invariants of the sweep binaries.
+ */
+#define verbose(...) \
+    do { \
+        if (::mspdsm::logVerbosity() > 0) \
+            ::mspdsm::verboseImpl(::mspdsm::concatMessage(__VA_ARGS__)); \
+    } while (0)
 
 /** panic() unless the stated invariant holds. */
 #define panic_if(cond, ...) \

@@ -11,6 +11,9 @@
 #ifndef MSPDSM_BASE_STATS_HH
 #define MSPDSM_BASE_STATS_HH
 
+#include <array>
+#include <bit>
+#include <cassert>
 #include <cstdint>
 
 namespace mspdsm
@@ -25,8 +28,14 @@ class Counter
 
     /** Undo @p n previously counted events (speculative bookings
      * that were rolled back -- e.g. the network's optimistic ingress
-     * reservation). Never exceeds what was counted. */
-    void dec(std::uint64_t n) { value_ -= n; }
+     * reservation). Never exceeds what was counted: asserted in debug
+     * builds, branch-free in release. */
+    void
+    dec(std::uint64_t n)
+    {
+        assert(n <= value_ && "Counter::dec exceeds what was counted");
+        value_ -= n;
+    }
 
     /** Current count. */
     std::uint64_t value() const { return value_; }
@@ -70,6 +79,128 @@ class Average
   private:
     double sum_ = 0.0;
     std::uint64_t n_ = 0;
+};
+
+/**
+ * Log2-bucketed distribution of a non-negative quantity (latencies,
+ * depths, distances). Fixed-size storage -- sampling is an array
+ * increment, never an allocation -- so histograms can sit on the
+ * per-message hot path and in every per-node stats block without
+ * perturbing the zero-allocation or determinism invariants. Bucket 0
+ * holds exactly the value 0; bucket k >= 1 holds [2^(k-1), 2^k).
+ * Percentiles interpolate linearly inside the covering bucket, and
+ * merge() is a bucket-wise sum (order-independent, so per-node
+ * aggregation is deterministic regardless of fold order).
+ */
+class Histogram
+{
+  public:
+    static constexpr unsigned numBuckets = 65;
+
+    /** Bucket index of @p v. */
+    static unsigned
+    bucketOf(std::uint64_t v)
+    {
+        return v == 0 ? 0u : static_cast<unsigned>(std::bit_width(v));
+    }
+
+    /** Smallest value bucket @p i covers. */
+    static std::uint64_t
+    bucketLo(unsigned i)
+    {
+        return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+    }
+
+    /** Largest value bucket @p i covers. */
+    static std::uint64_t
+    bucketHi(unsigned i)
+    {
+        if (i == 0)
+            return 0;
+        if (i >= 64)
+            return ~std::uint64_t{0};
+        return (std::uint64_t{1} << i) - 1;
+    }
+
+    /** Record one value. */
+    void
+    sample(std::uint64_t v)
+    {
+        ++buckets_[bucketOf(v)];
+        ++count_;
+        sum_ += v;
+    }
+
+    /** Number of values recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of values recorded. */
+    std::uint64_t sum() const { return sum_; }
+
+    /** Mean of values, or 0 when empty. */
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /** Occupancy of bucket @p i. */
+    std::uint64_t bucket(unsigned i) const { return buckets_[i]; }
+
+    /**
+     * The @p p-th percentile (0..100), linearly interpolated within
+     * the covering bucket; 0 when empty.
+     */
+    double
+    percentile(double p) const
+    {
+        if (count_ == 0)
+            return 0.0;
+        double rank = p / 100.0 * static_cast<double>(count_);
+        if (rank < 1.0)
+            rank = 1.0;
+        std::uint64_t cum = 0;
+        for (unsigned i = 0; i < numBuckets; ++i) {
+            if (buckets_[i] == 0)
+                continue;
+            if (static_cast<double>(cum + buckets_[i]) >= rank) {
+                const double frac =
+                    (rank - static_cast<double>(cum)) /
+                    static_cast<double>(buckets_[i]);
+                const double lo = static_cast<double>(bucketLo(i));
+                const double hi = static_cast<double>(bucketHi(i));
+                return lo + (hi - lo) * frac;
+            }
+            cum += buckets_[i];
+        }
+        return static_cast<double>(bucketHi(numBuckets - 1));
+    }
+
+    /** Fold @p o into this histogram (bucket-wise sum). */
+    void
+    merge(const Histogram &o)
+    {
+        for (unsigned i = 0; i < numBuckets; ++i)
+            buckets_[i] += o.buckets_[i];
+        count_ += o.count_;
+        sum_ += o.sum_;
+    }
+
+    /** Reset to the empty state. */
+    void
+    reset()
+    {
+        buckets_.fill(0);
+        count_ = 0;
+        sum_ = 0;
+    }
+
+  private:
+    std::array<std::uint64_t, numBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "dsm/cache.hh"
 
 #include "base/logging.hh"
+#include "obs/obs.hh"
 
 namespace mspdsm
 {
@@ -58,6 +59,10 @@ CacheCtrl::retryFired()
                  ": exhausted ", retryLimit_,
                  " retries for block ", mshr_.blk,
                  "; home unreachable");
+        stats_.retryDepth.sample(retryAttempts_);
+        if (obs_) [[unlikely]]
+            obs_->retryInstant("timeout retry", id_, mshr_.blk,
+                               retryAttempts_, eq_.curTick());
     }
     stats_.retries.inc();
     // Re-derive the request from the *current* line state (an Inval
@@ -88,7 +93,7 @@ CacheCtrl::sendRequest(MsgType t, BlockId blk, const Line &l, Tick base)
 }
 
 Tick
-CacheCtrl::tryHit(BlockId blk, bool is_write)
+CacheCtrl::tryHit(BlockId blk, bool is_write, Tick now)
 {
     panic_if(mshr_.valid, "blocking processor accessed during a miss");
     Line &l = line(blk);
@@ -107,6 +112,9 @@ CacheCtrl::tryHit(BlockId blk, bool is_write)
                 stats_.specServedFr.inc();
             else if (l.trig == SpecTrigger::Swi)
                 stats_.specServedSwi.inc();
+            stats_.specUseDist.sample(now - l.specPush);
+            if (obs_) [[unlikely]]
+                obs_->specInstant("spec use", id_, blk, now);
         }
     }
     // First touch of a remote-cache resident block (including every
@@ -129,6 +137,7 @@ CacheCtrl::issueMiss(BlockId blk, bool is_write, MemCompletion &done,
     mshr_.write = is_write;
     mshr_.invalidated = false;
     mshr_.done = &done;
+    mshr_.issued = base;
     if (!is_write) {
         stats_.demandReads.inc();
         sendRequest(MsgType::GetS, blk, l, base);
@@ -151,7 +160,7 @@ void
 CacheCtrl::accessAt(BlockId blk, bool is_write, MemCompletion &done,
                     Tick base)
 {
-    if (const Tick lat = tryHit(blk, is_write)) {
+    if (const Tick lat = tryHit(blk, is_write, base)) {
         // Local completion through the cache's own timer (the
         // processor's fused fast path schedules its own resume
         // instead and never comes through here on a hit).
@@ -225,6 +234,8 @@ CacheCtrl::handle(const CohMsg &msg, Tick base)
             // copy: drop the speculative block and let the base
             // protocol answer (paper Section 4.2).
             stats_.specDropped.inc();
+            if (obs_) [[unlikely]]
+                obs_->specInstant("spec drop", id_, msg.blk, base);
             return;
         }
         l.state = LineState::Shared;
@@ -232,6 +243,9 @@ CacheCtrl::handle(const CohMsg &msg, Tick base)
         l.referenced = false;
         l.inProcCache = false;
         l.trig = msg.trigger;
+        l.specPush = base;
+        if (obs_) [[unlikely]]
+            obs_->specInstant("spec place", id_, msg.blk, base);
         return;
       }
       case MsgType::Nack: {
@@ -245,6 +259,10 @@ CacheCtrl::handle(const CohMsg &msg, Tick base)
         fatal_if(retryAttempts_ > retryLimit_, "cache ", id_,
                  ": exhausted ", retryLimit_, " retries for block ",
                  mshr_.blk, "; home unreachable");
+        stats_.retryDepth.sample(retryAttempts_);
+        if (obs_) [[unlikely]]
+            obs_->retryInstant("nack backoff", id_, mshr_.blk,
+                               retryAttempts_, base);
         if (retryEvent_.scheduled())
             eq_.deschedule(retryEvent_);
         retryAfterNack_ = true;
@@ -297,6 +315,14 @@ CacheCtrl::handle(const CohMsg &msg, Tick base)
             retryAttempts_ = 0;
             retryAfterNack_ = false;
         }
+        // Fill latency spans the whole transaction, retries included:
+        // that is exactly the tail the lossy-link and fault axes
+        // stretch and the mean hides.
+        (mshr_.write ? stats_.writeMissLat : stats_.readMissLat)
+            .sample(base - mshr_.issued);
+        if (obs_) [[unlikely]]
+            obs_->missSpan(id_, mshr_.blk, mshr_.write, mshr_.issued,
+                           base);
         MemCompletion *done = mshr_.done;
         mshr_ = Mshr{};
         done->complete(msg.remoteWork, base);

@@ -26,6 +26,8 @@
 namespace mspdsm
 {
 
+class ObsManager;
+
 /** Cache-side block states (MSI). */
 enum class LineState : std::uint8_t
 {
@@ -85,6 +87,15 @@ struct CacheStats
     Counter nacks;      //!< Nacks received for the in-flight miss
     Counter timeouts;   //!< retry-timer expiries with no response
     Counter staleFills; //!< fills dropped with no matching miss
+
+    // Always-on latency/shape distributions. Passive fixed-size
+    // accounting (base/stats.hh Histogram): sampling is an array
+    // increment with no allocation and no timing side effect, so the
+    // distributions are recorded in every run, instrumented or not.
+    Histogram readMissLat;  //!< demand read miss, issue -> fill
+    Histogram writeMissLat; //!< demand write/upgrade, issue -> fill
+    Histogram specUseDist;  //!< speculative push -> first use
+    Histogram retryDepth;   //!< retry-FSM attempt depth per backoff
 };
 
 /**
@@ -127,7 +138,7 @@ class CacheCtrl
      * This is how the processor's fused fast path absorbs a hit into
      * its own step event instead of bouncing through hitEvent_.
      */
-    Tick tryHit(BlockId blk, bool is_write);
+    Tick tryHit(BlockId blk, bool is_write, Tick now);
 
     /**
      * Issue the demand transaction for an access that tryHit()
@@ -198,6 +209,9 @@ class CacheCtrl
     /** True iff a demand miss is outstanding (fault sweep uses it). */
     bool missOutstanding() const { return mshr_.valid; }
 
+    /** Attach the observability layer (dsm/system.cc; may be null). */
+    void setObs(ObsManager *o) { obs_ = o; }
+
     /**
      * Visit every cached line as (BlockId, LineState) -- the fault
      * layer reconstructs a re-homed directory shard from the
@@ -220,6 +234,8 @@ class CacheCtrl
         bool spec = false;        //!< placed speculatively
         bool referenced = false;  //!< processor has touched it
         SpecTrigger trig = SpecTrigger::None;
+        Tick specPush = 0; //!< placement tick of the spec copy
+                           //!< (push-to-use distance accounting)
     };
 
     struct Mshr
@@ -229,6 +245,7 @@ class CacheCtrl
         bool write = false;
         bool invalidated = false; //!< Inval raced the in-flight fill
         MemCompletion *done = nullptr;
+        Tick issued = 0; //!< issue tick (fill latency spans retries)
     };
 
     /**
@@ -314,6 +331,7 @@ class CacheCtrl
     unsigned retryAttempts_ = 0;
     bool retryAfterNack_ = false; //!< pending timer is a Nack backoff
     bool faultsEnabled_ = false;
+    ObsManager *obs_ = nullptr; //!< observability; null = untraced
     CacheStats stats_;
 };
 

@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "dsm/fault.hh"
+#include "obs/obs.hh"
 
 namespace mspdsm
 {
@@ -171,6 +172,8 @@ Directory::readReplyFired(BlockId blk, NodeId reader, Tick base)
     reply.blk = blk;
     reply.remoteWork = reader != id_;
     net_.sendAt(base, reply);
+    if (obs_) [[unlikely]]
+        obs_->dirInstant("read reply", id_, blk, base);
     if (specEnabled())
         frCheck(e, blk, reader, base);
     drain(blk, base);
@@ -494,6 +497,8 @@ Directory::grantExcl(Entry &e, BlockId blk, Tick base)
     reply.blk = blk;
     reply.remoteWork = e.curRemote;
     net_.sendAt(base, reply);
+    if (obs_) [[unlikely]]
+        obs_->dirInstant("grant", id_, blk, base);
 
     writeCompleted(blk, w, base);
     drain(blk, base);
@@ -583,6 +588,7 @@ Directory::trySwi(BlockId blk, NodeId writer, Tick base)
     e.curReq = writer;
     ColdEntry &c = cold(e);
     c.swiExOwner = writer; // premature checks start at launch
+    c.swiLaunch = base;
     c.swiWriteKey = *wk;
     c.swiWriteKeyValid = true;
     c.swiVerdictPending = false;
@@ -604,7 +610,11 @@ Directory::completeSwi(Entry &e, BlockId blk, Tick base)
     specStats_.swiCompleted.inc();
     e.curIsSwi = false;
     e.state = DirState::Idle;
-    cold(e).swiEpoch = true; // swiExOwner was set at launch
+    ColdEntry &c = cold(e);
+    c.swiEpoch = true; // swiExOwner was set at launch
+    specStats_.swiLat.sample(base - c.swiLaunch);
+    if (obs_) [[unlikely]]
+        obs_->swiSpan(id_, blk, c.swiLaunch, base);
     replicate(e, blk, base); // pushSpec refines this if readers exist
 
     // Trigger the predicted read sequence (Section 4.1): forward the

@@ -45,6 +45,8 @@
 namespace mspdsm
 {
 
+class ObsManager;
+
 /** Directory states; Busy* are the transient transaction states. */
 enum class DirState : std::uint8_t
 {
@@ -129,6 +131,9 @@ class Directory
      */
     void setFaults(FaultManager *f) { faults_ = f; }
 
+    /** Attach the observability layer (dsm/system.cc; may be null). */
+    void setObs(ObsManager *o) { obs_ = o; }
+
     /** Share the fault layer's home re-mapping table. */
     void setHomeRemap(const NodeId *table) { map_.setRemap(table); }
 
@@ -206,6 +211,7 @@ class Directory
          */
         unsigned swiBackoff = 0;
         unsigned swiPrematureCount = 0; //!< escalates the backoff
+        Tick swiLaunch = 0; //!< trySwi tick (SWI latency accounting)
 
         // Fault layer (only written with a FaultManager attached).
         NodeSet ackWait; //!< nodes whose InvAck is still outstanding
@@ -570,6 +576,7 @@ class Directory
     //! Cold records, attached on demand; addresses are stable.
     ChunkedVector<ColdEntry> coldArena_;
     FaultManager *faults_ = nullptr; //!< fault layer; null = fault-free
+    ObsManager *obs_ = nullptr; //!< observability; null = untraced
     DirStats stats_;
     SpecStats specStats_;
 };

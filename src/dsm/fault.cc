@@ -7,6 +7,7 @@
 #include "dsm/directory.hh"
 #include "dsm/processor.hh"
 #include "net/network.hh"
+#include "obs/obs.hh"
 
 namespace mspdsm
 {
@@ -202,6 +203,9 @@ FaultManager::killNode(NodeId v)
 {
     fatal_if(dead(v), "fault plan kills node ", v, " twice");
     const Tick now = eq_.curTick();
+    verbose("fault: kill node ", v, " at tick ", now);
+    if (obs_) [[unlikely]]
+        obs_->faultInstant("kill", v, now);
 
     // Fail-stop: from this instant every message the node launched
     // before the crash is recognizably stale (epoch bump) and every
@@ -216,6 +220,8 @@ FaultManager::killNode(NodeId v)
     // indirection table every AddrMap in the machine shares.
     const NodeId b = backupFor(v);
     remap_[v] = b;
+    if (obs_) [[unlikely]]
+        obs_->faultInstant("rehome", b, now);
 
     // Every surviving directory prunes the dead node from its own
     // bookkeeping (sharer sets, pending acks, owned blocks).
@@ -265,6 +271,9 @@ FaultManager::restartNode(NodeId v)
     fatal_if(!dead(v), "fault plan restarts node ", v,
              " which is not down");
     const Tick now = eq_.curTick();
+    verbose("fault: restart node ", v, " at tick ", now);
+    if (obs_) [[unlikely]]
+        obs_->faultInstant("restart", v, now);
     deadSet_.remove(v);
 
     // Fail-back: the restarted victim re-adopts its original shard
@@ -281,6 +290,8 @@ FaultManager::restartNode(NodeId v)
     if (host != v && !dead(host)) {
         dirs_[host]->releaseShard(v);
         ++outcome_.failbacks;
+        if (obs_) [[unlikely]]
+            obs_->faultInstant("failback", host, now);
     }
     remap_[v] = v;
     rehome(v, v, now);
@@ -299,6 +310,8 @@ FaultManager::restartNode(NodeId v)
 void
 FaultManager::predLoss(NodeId v)
 {
+    if (obs_) [[unlikely]]
+        obs_->faultInstant("pred loss", v, eq_.curTick());
     for (PredictorBase *p : nodePreds_[v])
         p->reset();
     ++outcome_.predLosses;

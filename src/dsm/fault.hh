@@ -74,6 +74,7 @@ namespace mspdsm
 class CacheCtrl;
 class Directory;
 class Network;
+class ObsManager;
 class Processor;
 
 /** What happens to a node at a scheduled fault tick. */
@@ -286,6 +287,9 @@ class FaultManager
     /** Outcome so far (final after the run drains). */
     const FaultOutcome &outcome() const { return outcome_; }
 
+    /** Attach the observability layer (dsm/system.cc; may be null). */
+    void setObs(ObsManager *o) { obs_ = o; }
+
   private:
     /** One scheduled plan entry riding the event queue. */
     struct PlanEvent final : public Event
@@ -381,6 +385,7 @@ class FaultManager
     std::vector<unsigned> deltaBacklog_;
 
     NodeSet awaiting_; //!< restarted nodes with no step dispatch yet
+    ObsManager *obs_ = nullptr; //!< observability; null = untraced
     FaultOutcome outcome_;
 };
 

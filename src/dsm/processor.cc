@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "dsm/fault.hh"
+#include "obs/obs.hh"
 
 namespace mspdsm
 {
@@ -81,6 +82,8 @@ Processor::step(Tick now)
             done_ = true;
             stats_.finishTick = vt;
             eq_.noteFused(vt);
+            if (obs_) [[unlikely]]
+                obs_->procInstant("trace done", id_, vt);
             return;
         }
 
@@ -102,7 +105,7 @@ Processor::step(Tick now)
             ++pc_;
             ++stats_.ops;
             if (op.hitEligible()) {
-                if (const Tick lat = cache_.tryHit(blk, write)) {
+                if (const Tick lat = cache_.tryHit(blk, write, vt)) {
                     stats_.memWait += lat;
                     vt += lat;
                     if (advanceOk(vt))

@@ -136,6 +136,9 @@ class Processor
     /** Attach the fault layer (for the post-restart progress report). */
     void setFaults(FaultManager *f) { faults_ = f; }
 
+    /** Attach the observability layer (may be null). */
+    void setObs(ObsManager *o) { obs_ = o; }
+
     /**
      * Fail-stop: stop executing. A pending between-ops resume is
      * descheduled (and its tick remembered); an op in flight -- a
@@ -204,6 +207,7 @@ class Processor
     bool started_ = false;
     bool done_ = false;
     FaultManager *faults_ = nullptr; //!< fault layer; null = fault-free
+    ObsManager *obs_ = nullptr; //!< observability; null = untraced
     Tick resumeAt_ = 0;        //!< descheduled resume tick (kill)
     bool resumeNotify_ = false; //!< report the next step() dispatch
     ProcStats stats_;

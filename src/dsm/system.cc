@@ -105,6 +105,30 @@ DsmSystem::DsmSystem(const DsmConfig &cfg)
             std::move(dirv), std::move(procv), vmsps_,
             std::move(nodePreds));
     }
+
+    if (!cfg_.obs.empty()) {
+        // Same gating discipline as the fault layer: an empty config
+        // builds nothing and every hook site stays a null check.
+        std::vector<CacheCtrl *> cachev;
+        std::vector<Processor *> procv;
+        std::vector<PredictorBase *> predv;
+        for (unsigned i = 0; i < n; ++i) {
+            cachev.push_back(&caches_[i]);
+            procv.push_back(&procs_[i]);
+            predv.push_back(preds_[i].get());
+        }
+        obsMgr_ = std::make_unique<ObsManager>(
+            eq_, *net_, cfg_.proto, cfg_.obs, std::move(cachev),
+            std::move(procv), std::move(predv));
+        net_->setObs(obsMgr_.get());
+        for (unsigned i = 0; i < n; ++i) {
+            caches_[i].setObs(obsMgr_.get());
+            dirs_[i].setObs(obsMgr_.get());
+            procs_[i].setObs(obsMgr_.get());
+        }
+        if (faults_)
+            faults_->setObs(obsMgr_.get());
+    }
 }
 
 DsmSystem::~DsmSystem() = default;
@@ -140,7 +164,14 @@ DsmSystem::run(const CompiledWorkload &w)
     for (std::size_t i = 0; i < procs_.size(); ++i)
         procs_[i].start(w.trace(i));
 
+    verbose("run: ", procs_.size(), " nodes, spec ",
+            specModeName(cfg_.spec),
+            faults_ ? ", fault plan armed" : "",
+            obsMgr_ ? ", instrumented" : "");
     const bool drained = eq_.run(cfg_.tickLimit);
+    verbose("run ", drained ? "drained" : "hit the tick limit",
+            " at tick ", eq_.endTick(), ", ", net_->messagesSent(),
+            " messages, ", eq_.executed(), " events");
 
     RunResult r;
     if (!drained) {
@@ -207,7 +238,16 @@ DsmSystem::run(const CompiledWorkload &w)
         r.specServedFr += cs.specServedFr.value();
         r.specServedSwi += cs.specServedSwi.value();
         r.specDropped += cs.specDropped.value();
+        // Merge the always-on distributions (bucket-wise sums, so the
+        // node iteration order cannot matter).
+        r.missLat.merge(cs.readMissLat);
+        r.missLat.merge(cs.writeMissLat);
+        r.specUseDist.merge(cs.specUseDist);
+        r.retryDepth.merge(cs.retryDepth);
     }
+    r.missLatP50 = r.missLat.percentile(50.0);
+    r.missLatP90 = r.missLat.percentile(90.0);
+    r.missLatP99 = r.missLat.percentile(99.0);
 
     // Aggregate a predictor family (one instance per node) into one
     // PredStats/StorageReport pair; byte overhead is linear in the
@@ -247,6 +287,15 @@ DsmSystem::run(const CompiledWorkload &w)
         r.swiSent += ss.swiSent.value();
         r.swiPremature += ss.swiPremature.value();
         r.swiSuppressed += ss.swiSuppressed.value();
+        r.swiLat.merge(ss.swiLat);
+    }
+
+    if (obsMgr_) {
+        // Close the trace sink now (not at system destruction) so a
+        // caller can validate the file as soon as run() returns.
+        obsMgr_->finish();
+        r.seriesInterval = obsMgr_->config().sampleInterval;
+        r.series = obsMgr_->series();
     }
 
     aggregate([this](std::size_t i) { return preds_[i].get(); },

@@ -19,6 +19,7 @@
 #include "dsm/fault.hh"
 #include "dsm/processor.hh"
 #include "net/network.hh"
+#include "obs/obs.hh"
 #include "pred/predictor.hh"
 #include "pred/seq_predictor.hh"
 #include "pred/vmsp.hh"
@@ -82,6 +83,14 @@ struct DsmConfig
      */
     unsigned retryLimit = 16;  //!< retries before the fatal
     Tick staleTimeout = 20000; //!< silence before a re-issue
+
+    /**
+     * Observability instruments (tracing, interval sampling); empty
+     * (the default) means no ObsManager is constructed -- the same
+     * gating discipline as the fault plan. The always-on latency
+     * histograms are independent of this and filled in every run.
+     */
+    ObsConfig obs;
 };
 
 /** Per-observer accuracy/storage results. */
@@ -158,6 +167,26 @@ struct RunResult
 
     /** Fault/recovery outcome; all-zero when no FaultPlan was set. */
     FaultOutcome fault;
+
+    // Always-on latency/shape distributions, merged across nodes
+    // (log2 buckets; base/stats.hh). missLat combines read and write
+    // demand misses -- issue to fill, retries included -- which is
+    // the tail the fault and lossy-link axes stretch.
+    Histogram missLat;     //!< demand miss latency (read + write)
+    Histogram swiLat;      //!< SWI launch -> writeback absorbed
+    Histogram specUseDist; //!< speculative push -> first use
+    Histogram retryDepth;  //!< retry-FSM attempt depth per backoff
+
+    // Percentiles of missLat, precomputed for tables and sweep JSON.
+    double missLatP50 = 0.0;
+    double missLatP90 = 0.0;
+    double missLatP99 = 0.0;
+
+    /** Sampling period of `series` (0 = sampler off, series empty). */
+    Tick seriesInterval = 0;
+
+    /** Interval time-series (DsmConfig::obs.sampleInterval > 0). */
+    std::vector<IntervalSample> series;
 };
 
 /**
@@ -227,6 +256,9 @@ class DsmSystem
     /** The fault manager; null unless the config has a plan (tests). */
     FaultManager *faultManager() { return faults_.get(); }
 
+    /** The obs manager; null unless the config has instruments. */
+    ObsManager *obsManager() { return obsMgr_.get(); }
+
     /** The configuration in force. */
     const DsmConfig &config() const { return cfg_; }
 
@@ -248,6 +280,9 @@ class DsmSystem
     //! Constructed only when cfg_.faults is non-empty: the fault-free
     //! machine carries no fault machinery at all.
     std::unique_ptr<FaultManager> faults_;
+    //! Constructed only when cfg_.obs is non-empty: the untraced
+    //! machine carries no instrumentation machinery at all.
+    std::unique_ptr<ObsManager> obsMgr_;
     //! Workload compiled by run(const std::vector<Trace>&); owned by
     //! the system (not the call's stack frame) because a TickLimit
     //! trip leaves the queue resumable with spans into its arena.

@@ -58,6 +58,10 @@ baseConfig(const ExperimentConfig &ec, Tick netJitter)
         cfg.faults.retransmitBudget = ec.retransmitBudget;
         cfg.faults.retransmitDelay = ec.retransmitDelay;
     }
+    cfg.obs.tracePath = ec.tracePath;
+    cfg.obs.traceFrom = ec.traceFrom;
+    cfg.obs.traceTo = ec.traceTo;
+    cfg.obs.sampleInterval = ec.sampleInterval;
     return cfg;
 }
 

@@ -73,6 +73,18 @@ struct ExperimentConfig
     unsigned retransmitBudget = 8;
     /** Drop-to-reinjection latency, ticks. */
     Tick retransmitDelay = 400;
+
+    // ---- Observability (--trace / --sample-interval). All defaults
+    // are inert: an empty ObsConfig builds no ObsManager and the run
+    // is bit-identical to an uninstrumented one.
+
+    /** Chrome trace-event JSON output path; empty disables tracing. */
+    std::string tracePath;
+    /** Trace tick window [traceFrom, traceTo]. */
+    Tick traceFrom = 0;
+    Tick traceTo = maxTick;
+    /** Interval time-series period, ticks; 0 disables the sampler. */
+    Tick sampleInterval = 0;
 };
 
 /**

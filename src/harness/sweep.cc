@@ -271,6 +271,28 @@ SweepRunner::writeJson(std::ostream &os, const std::string &tool)
            << res.fault.misroutedDropped
            << ", \"link_drops\": " << res.fault.linkDrops
            << ", \"retransmits\": " << res.fault.retransmits
+           // Always-on demand-miss latency distribution (tail shape
+           // the mean hides); additive, zero in traffic-free runs.
+           << ", \"miss_lat_p50\": " << res.missLatP50
+           << ", \"miss_lat_p90\": " << res.missLatP90
+           << ", \"miss_lat_p99\": " << res.missLatP99
+           // Interval time-series (gated sampler; interval 0 and an
+           // empty array when the run was not sampled).
+           << ", \"series_interval\": " << res.seriesInterval
+           << ", \"series\": [";
+        for (std::size_t k = 0; k < res.series.size(); ++k) {
+            const IntervalSample &s = res.series[k];
+            os << (k ? ", " : "") << "{\"tick\": " << s.tick
+               << ", \"ops\": " << s.ops
+               << ", \"messages\": " << s.messages
+               << ", \"events\": " << s.eventsDispatched
+               << ", \"pred_lookups\": " << s.predLookups
+               << ", \"pred_hits\": " << s.predHits
+               << ", \"outstanding_misses\": " << s.outstandingMisses
+               << ", \"retransmits_in_flight\": "
+               << s.retransmitsInFlight << "}";
+        }
+        os << "]"
            << ", \"seconds\": " << r.seconds << "}"
            << (i + 1 < records_.size() ? "," : "") << "\n";
     }

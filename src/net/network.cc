@@ -6,6 +6,7 @@
 #include "dsm/cache.hh"
 #include "dsm/directory.hh"
 #include "dsm/fault.hh"
+#include "obs/obs.hh"
 
 namespace mspdsm
 {
@@ -56,6 +57,12 @@ Network::ReadyRing::grow()
 void
 Network::deliver(const CohMsg &msg, Tick base)
 {
+    // Before the fault screens: a message dropped or bounced below
+    // still physically reached this NI, and the tracer's per-pair
+    // pairing state must advance for every transmission it recorded
+    // a send for.
+    if (obs_) [[unlikely]]
+        obs_->msgDelivered(msg, base);
     if (faults_) [[unlikely]] {
         // Epoch screen: a message stamped before its sender's crash
         // must not mutate post-recovery state. Dropping it here --
@@ -169,6 +176,8 @@ Network::sendImpl(Tick base, CohMsg msg, unsigned attempt)
         } else {
             localQ_.push_back(p);
         }
+        if (obs_) [[unlikely]]
+            obs_->msgSent(msg, now, now + 1);
         armLocal(now + 1);
         return;
     }
@@ -235,6 +244,8 @@ Network::sendImpl(Tick base, CohMsg msg, unsigned attempt)
     // event books the ingress NI in (arrival, push seq) order -- the
     // exact firing order of the retired per-message arrival events --
     // and delivers; no per-message event is scheduled at all.
+    if (obs_) [[unlikely]]
+        obs_->msgSent(msg, now, arrival);
     pushIngress(msg.dst, arrival, msg);
 }
 

@@ -43,6 +43,7 @@ namespace mspdsm
 class CacheCtrl;
 class Directory;
 class FaultManager;
+class ObsManager;
 struct LinkLossRule;
 
 /**
@@ -161,6 +162,16 @@ class Network
 
     /** Re-injections performed by the transport layer. */
     std::uint64_t retransmits() const;
+
+    /**
+     * Attach the observability layer (null in untraced runs, the
+     * default). With it attached, every transmission that reaches its
+     * destination's ingress reports its (send, arrival) pair, and
+     * every delivery reports its base tick -- the tracer pairs the
+     * two into flow arrows. Dropped transmissions never report a
+     * send, so the pairing survives lossy links.
+     */
+    void setObs(ObsManager *o) { obs_ = o; }
 
   private:
     /**
@@ -534,6 +545,7 @@ class Network
     std::size_t localHead_ = 0; //!< first unflushed localQ_ entry
     LocalFlushEvent localFlush_;
     FaultManager *faults_ = nullptr; //!< fault layer; null = fault-free
+    ObsManager *obs_ = nullptr; //!< observability; null = untraced
     std::unique_ptr<LossState> loss_; //!< null = lossless (the default)
     unsigned fuseDepth_ = 0; //!< live inline deliveries on the stack
     NodeId draining_ = noNode; //!< node whose drain loop is on stack

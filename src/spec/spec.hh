@@ -87,6 +87,10 @@ struct SpecStats
     Counter specMissFr;    //!< verified unreferenced (FR)
     Counter specMissSwi;   //!< verified unreferenced (SWI)
     Counter specDroppedVerified; //!< pushed copy raced a demand miss
+
+    // Always-on latency distribution (see CacheStats): passive
+    // fixed-size accounting, recorded in every run.
+    Histogram swiLat; //!< SWI launch -> writeback absorbed
 };
 
 } // namespace mspdsm

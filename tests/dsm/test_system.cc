@@ -9,6 +9,21 @@
 using namespace mspdsm;
 using namespace mspdsm::test;
 
+namespace
+{
+
+/** Small experiment config (seed 42, 16 procs -- the defaults). */
+ExperimentConfig
+small(double scale, unsigned iters)
+{
+    ExperimentConfig ec;
+    ec.scale = scale;
+    ec.iterations = iters;
+    return ec;
+}
+
+} // namespace
+
 TEST(System, RejectsSpeculationWithoutVmsp)
 {
     DsmConfig cfg = smallConfig();
@@ -62,7 +77,7 @@ TEST(System, ObserverResultsFollowConfigOrder)
 
 TEST(System, PredictedNeverExceedsObserved)
 {
-    const RunResult r = runAccuracy("em3d", 1, {0.25, 3, 42, 16});
+    const RunResult r = runAccuracy("em3d", 1, small(0.25, 3));
     for (const ObserverResult &o : r.observers) {
         EXPECT_LE(o.stats.predicted.value(), o.stats.observed.value());
         EXPECT_LE(o.stats.correct.value(), o.stats.predicted.value());
@@ -92,8 +107,8 @@ TEST(System, SpecAccountingIdentities)
     // every pushed copy -- we check the inequality direction, the
     // exact partition being unobservable after teardown.
     for (const char *app : {"em3d", "tomcatv", "unstructured"}) {
-        const RunResult r = runSpec(app, SpecMode::SwiFirstRead,
-                                    {0.25, 4, 42, 16});
+        const RunResult r =
+            runSpec(app, SpecMode::SwiFirstRead, small(0.25, 4));
         EXPECT_LE(r.specServedFr + r.specMissFr,
                   r.specSentFr + r.specDropped)
             << app;
@@ -110,7 +125,7 @@ TEST(System, BaseRunsHaveNoSpeculationSideEffects)
 {
     for (const AppInfo &info : appSuite()) {
         const RunResult r =
-            runSpec(info.name, SpecMode::None, {0.25, 2, 42, 16});
+            runSpec(info.name, SpecMode::None, small(0.25, 2));
         EXPECT_EQ(r.specSentFr + r.specSentSwi, 0u) << info.name;
         EXPECT_EQ(r.swiSent, 0u) << info.name;
         EXPECT_EQ(r.specDropped, 0u) << info.name;
@@ -119,8 +134,8 @@ TEST(System, BaseRunsHaveNoSpeculationSideEffects)
 
 TEST(System, RequestWaitBoundedByMemWait)
 {
-    const RunResult r = runSpec("moldyn", SpecMode::None,
-                                {0.25, 3, 42, 16});
+    const RunResult r =
+        runSpec("moldyn", SpecMode::None, small(0.25, 3));
     EXPECT_LE(r.avgRequestWait, r.avgMemWait);
     EXPECT_LE(r.avgMemWait, static_cast<double>(r.execTicks));
 }
